@@ -1,0 +1,27 @@
+"""Extension: AI-restriction adoption by editorial category.
+
+Paper-adjacent shape (Fletcher [32], Section 3.4): news sites adopt
+robots.txt restrictions far more than average; misinformation sites --
+which court LLM ingestion -- barely adopt at all.
+"""
+
+from conftest import save_artifact
+
+from repro.report.experiments import run_ext_adoption_by_category
+
+
+def test_ext_category_adoption(benchmark, longitudinal_bundle, artifact_dir):
+    result = benchmark.pedantic(
+        run_ext_adoption_by_category, args=(longitudinal_bundle,),
+        rounds=1, iterations=1,
+    )
+    save_artifact(artifact_dir, result)
+    print(result.text)
+
+    metrics = result.metrics
+    assert metrics["pct_news"] > metrics["pct_shopping"]
+    assert metrics["pct_news"] > metrics["pct_blog"]
+    # Misinformation sites are a tiny category (~2% of the population),
+    # so allow wide sampling noise around their low propensity.
+    assert metrics["pct_misinfo"] < metrics["pct_news"]
+    assert metrics["pct_misinfo"] < 15.0

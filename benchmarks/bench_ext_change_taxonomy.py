@@ -1,0 +1,28 @@
+"""Extension: taxonomy of robots.txt changes across snapshots.
+
+Built on the semantic differ, this quantifies the paper's Section 3
+narrative at transition granularity: AI-restriction additions dominate
+removals by an order of magnitude, explicit allows are rare, and most
+robots.txt churn has nothing to do with AI.
+"""
+
+from conftest import save_artifact
+
+from repro.report.experiments import run_change_taxonomy
+
+
+def test_ext_change_taxonomy(benchmark, longitudinal_bundle, artifact_dir):
+    result = benchmark.pedantic(
+        run_change_taxonomy, args=(longitudinal_bundle,), rounds=1, iterations=1
+    )
+    save_artifact(artifact_dir, result)
+    print(result.text)
+
+    metrics = result.metrics
+    added = metrics["n_ai-restriction-added"]
+    removed = metrics["n_ai-restriction-removed"]
+    allows = metrics["n_explicit-allow-added"]
+    assert added > 0 and removed > 0
+    assert added > 3 * removed          # the adoption wave dwarfs removals
+    assert allows < removed             # reverse intent is rarer still
+    assert metrics["n_no-change"] > metrics["n_changed_transitions"]

@@ -1,0 +1,23 @@
+"""Section 2.2: NoAI meta-tag adoption.
+
+Paper shape: adoption is tiny -- 17 sites with ``noai`` and 16 with
+``noimageai`` among the top 10k (i.e. well under 0.5%).
+"""
+
+from conftest import save_artifact
+
+from repro.report.experiments import run_sec22_meta_tags
+
+
+def test_sec22_meta_tags(benchmark, audit_population, artifact_dir):
+    result = benchmark.pedantic(
+        run_sec22_meta_tags,
+        kwargs={"population": audit_population},
+        rounds=1, iterations=1,
+    )
+    save_artifact(artifact_dir, result)
+    print(result.text)
+
+    metrics = result.metrics
+    assert metrics["noai_per_10k"] <= 60         # paper: 17 per 10k
+    assert metrics["noimageai_per_10k"] <= metrics["noai_per_10k"]

@@ -1,0 +1,26 @@
+"""Section 6.2: prevalence of active blocking of AI crawlers.
+
+Paper shape: ~15% of the top 10k inherently block the measurement tool
+(excluded); ~14% actively block the Anthropic AI user agents; only ~2%
+of those blockers also restrict the same agents in robots.txt -- active
+blocking is mostly used *instead of* robots.txt.
+"""
+
+from conftest import BENCH_CONFIG, save_artifact
+
+from repro.report.experiments import run_sec62_active_blocking
+
+
+def test_sec62_active_blocking(benchmark, audit_population, artifact_dir):
+    result = benchmark.pedantic(
+        run_sec62_active_blocking,
+        kwargs={"population": audit_population},
+        rounds=1, iterations=1,
+    )
+    save_artifact(artifact_dir, result)
+    print(result.text)
+
+    metrics = result.metrics
+    assert 10.0 <= metrics["pct_excluded"] <= 20.0       # paper: 15%
+    assert 9.0 <= metrics["pct_blocking"] <= 21.0        # paper: 14%
+    assert metrics["pct_blockers_with_robots"] <= 15.0   # paper: 2%

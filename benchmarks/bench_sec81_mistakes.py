@@ -1,0 +1,21 @@
+"""Section 8.1: robots.txt author mistakes.
+
+Paper shape: approximately 1% of studied sites have mistakes in their
+robots.txt (paths missing the leading slash, non-existent directives).
+"""
+
+from conftest import save_artifact
+
+from repro.report.experiments import run_sec81_mistakes
+
+
+def test_sec81_mistake_rate(benchmark, audit_population, artifact_dir):
+    result = benchmark.pedantic(
+        run_sec81_mistakes,
+        kwargs={"population": audit_population},
+        rounds=1, iterations=1,
+    )
+    save_artifact(artifact_dir, result)
+    print(result.text)
+
+    assert 0.3 <= result.metrics["pct_mistakes"] <= 3.0  # paper: ~1%

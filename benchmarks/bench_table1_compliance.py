@@ -1,0 +1,34 @@
+"""Table 1 / Section 5: AI crawler robots.txt compliance.
+
+Regenerates the paper's compliance matrix -- which crawlers visited the
+testbed, which fetched robots.txt, which respected it -- plus the
+Section 5.2.2 third-party assistant breakdown (1 respects / 1 buggy /
+1 intermittent / 20 never fetch), and checks the headline findings:
+
+* nine crawlers visit unprompted;
+* Bytespider fetches robots.txt but ignores it;
+* both built-in assistants (ChatGPT, Meta) obey;
+* most third-party assistant crawlers never fetch robots.txt.
+"""
+
+from conftest import save_artifact
+
+from repro.report.experiments import run_table1_compliance
+
+
+def test_table1_compliance(benchmark, artifact_dir):
+    result = benchmark.pedantic(
+        run_table1_compliance, kwargs={"seed": 42, "n_apps": 2000},
+        rounds=1, iterations=1,
+    )
+    save_artifact(artifact_dir, result)
+    print(result.text)
+
+    metrics = result.metrics
+    assert metrics["n_visited"] == 9
+    assert metrics["bytespider_respects"] == 0
+    assert metrics["builtin_respect"] == 2
+    assert metrics["third_party_total"] == 23
+    assert metrics["third_party_no_fetch"] == 20
+    # Seven passive visitors respect + ChatGPT-User via active = 8 "Yes".
+    assert metrics["n_respect_yes"] == 8

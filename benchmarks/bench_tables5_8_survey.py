@@ -1,0 +1,25 @@
+"""Tables 5-8: survey demographics and familiarity.
+
+Paper values: 203 valid responses; income duration 17/68/44/47; NA 109,
+EU 52, Asia 21, SA 18, Africa 2, Oceania 1; Illustration the top art
+type; familiarity means Website 4.60 > Search 4.35 > GenAI 3.89 >
+Robots.txt 1.99 > bogus item 1.56.
+"""
+
+from conftest import save_artifact
+
+from repro.report.experiments import run_survey_tables
+
+
+def test_tables5_8_survey(benchmark, artifact_dir):
+    result = benchmark.pedantic(
+        run_survey_tables, kwargs={"seed": 42}, rounds=1, iterations=1
+    )
+    save_artifact(artifact_dir, result)
+    print(result.text)
+
+    metrics = result.metrics
+    assert metrics["n_valid"] == 203
+    assert abs(metrics["familiarity_website"] - 4.60) < 0.25
+    assert abs(metrics["familiarity_robots"] - 1.99) < 0.40
+    assert metrics["familiarity_website"] > metrics["familiarity_robots"]

@@ -1,0 +1,56 @@
+"""Shared fixtures for the benchmark harness.
+
+The heavy simulated worlds (the longitudinal population with its
+fifteen crawled snapshots, and the audit-tier population) are built
+once per session and shared across benches; each bench then times its
+own measurement pipeline and asserts the paper's bands.
+
+Every bench writes its rendered artifact (the table/figure text the
+paper reports) to ``benchmarks/output/<experiment>.txt`` so results are
+inspectable after a run regardless of pytest capture settings.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.report.experiments import (
+    ExperimentResult,
+    LongitudinalBundle,
+    build_longitudinal_bundle,
+)
+from repro.web.population import PopulationConfig, build_web_population
+
+#: The default bench scale: a 1:25 model of the paper's setting.
+BENCH_CONFIG = PopulationConfig()
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def longitudinal_bundle() -> LongitudinalBundle:
+    """The Section 3 world with all fifteen snapshots crawled."""
+    return build_longitudinal_bundle(BENCH_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def audit_population():
+    """The population whose audit tier Section 6 / 2.2 benches probe."""
+    return build_web_population(BENCH_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> pathlib.Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+def save_artifact(directory: pathlib.Path, result: ExperimentResult) -> None:
+    """Write one experiment's rendered text under benchmarks/output/."""
+    path = directory / f"{result.experiment_id}.txt"
+    lines = [result.title, "", result.text, "", "metrics:"]
+    for name, value in sorted(result.metrics.items()):
+        lines.append(f"  {name} = {value:.4f}")
+    path.write_text("\n".join(lines) + "\n")

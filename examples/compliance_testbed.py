@@ -1,0 +1,88 @@
+"""Section 5 end to end: do AI crawlers respect robots.txt?
+
+Run with::
+
+    python examples/compliance_testbed.py
+
+Builds the paper's two testbed websites (one wildcard-disallow, one
+listing every AI agent), lets the Table 1 crawler fleet roam for six
+simulated months, triggers the built-in assistants and 2,000 GPT-store
+apps, then derives every verdict *from the server logs* -- the same
+evidence the paper uses.
+"""
+
+from repro.agents import AI_USER_AGENT_TOKENS, Compliance, build_registry
+from repro.crawlers import build_app_store, build_builtin_assistants, build_fleet
+from repro.measure import (
+    analyze_passive,
+    build_testbed,
+    classify_merged_crawler,
+    merge_third_party_crawlers,
+    run_active_measurement,
+    run_passive_measurement,
+)
+from repro.report import render_table
+
+
+def main() -> None:
+    testbed = build_testbed(AI_USER_AGENT_TOKENS)
+    fleet = build_fleet(testbed.network)
+
+    print("passive measurement: six months of unprompted crawler traffic...")
+    run_passive_measurement(fleet, testbed, months=6)
+    passive = analyze_passive(testbed, AI_USER_AGENT_TOKENS)
+
+    rows = []
+    registry = build_registry()
+    for agent in registry.real_crawlers():
+        observation = passive[agent.token]
+        rows.append(
+            (
+                agent.token,
+                observation.visited,
+                observation.fetched_robots,
+                observation.fetched_disallowed_content,
+                observation.respects.value,
+            )
+        )
+    print(render_table(
+        ["crawler", "visited", "fetched robots.txt", "violated", "respects"],
+        rows,
+        title="Passive verdicts (from server logs)",
+    ))
+
+    print("\nactive measurement: built-in assistants...")
+    for name, crawler in build_builtin_assistants(testbed.network).items():
+        result = crawler.fetch("testbed-wildcard.example", "/page1")
+        verdict = "respected" if result.skipped else "VIOLATED"
+        print(f"  {name:8s} ({crawler.profile.user_agent[:40]}...): {verdict}")
+
+    print("\nactive measurement: top GPT-store apps...")
+    store = build_app_store(testbed.network, seed=42, n_apps=2000)
+    observations = run_active_measurement(store, testbed)
+    groups = merge_third_party_crawlers(observations)
+    breakdown = {}
+    for group in groups:
+        label = classify_merged_crawler(group)
+        if label != "no-traffic":
+            breakdown[label] = breakdown.get(label, 0) + 1
+    print(f"  {len(observations)} browsing apps merged into "
+          f"{sum(breakdown.values())} distinct third-party crawlers:")
+    for label, count in sorted(breakdown.items()):
+        print(f"    {label:12s}: {count}")
+
+    violators = [
+        token for token, obs in passive.items()
+        if obs.respects is Compliance.NO
+    ]
+    print(f"\ncrawlers that violated robots.txt in the passive window: {violators}")
+    if "ChatGPT-User" in violators:
+        print(
+            "(ChatGPT-User's single unprompted robots-less visit is the "
+            "anomaly Section 5.2.1 documents; its active-measurement "
+            "behavior above is compliant, which is what Table 1 reports.)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""Run every experiment and write the results to results/.
+
+Run with::
+
+    python examples/reproduce_all.py [--fast]
+
+Executes each table/figure runner at the default bench scale (a 1:25
+model of the paper's populations; ``--fast`` uses a smaller world) and
+writes ``results/<experiment>.txt`` plus a combined
+``results/summary.txt`` with every headline metric -- the raw material
+for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import time
+
+from repro.report.experiments import (
+    build_longitudinal_bundle,
+    run_change_taxonomy,
+    run_ext_adoption_by_category,
+    run_survey_crosstabs,
+    run_tables9_12_codebooks,
+    run_appb2_parser_comparison,
+    run_figure2,
+    run_figure3,
+    run_figure4,
+    run_sec22_meta_tags,
+    run_sec62_active_blocking,
+    run_sec63_cloudflare,
+    run_sec81_mistakes,
+    run_survey_tables,
+    run_table1_compliance,
+    run_table2_artists,
+    run_table3,
+)
+from repro.web import PopulationConfig, build_web_population
+
+RESULTS = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def main() -> None:
+    fast = "--fast" in sys.argv
+    config = (
+        PopulationConfig(universe_size=1500, list_size=1000, top5k_cut=120,
+                         audit_size=400)
+        if fast
+        else PopulationConfig()
+    )
+    RESULTS.mkdir(exist_ok=True)
+    summary_lines = [
+        f"experiment scale: {config.list_size}-site lists "
+        f"(1:{round(100_000 / config.list_size)} of the paper's setting)",
+        "",
+    ]
+
+    print("building longitudinal world...")
+    bundle = build_longitudinal_bundle(config)
+    population = build_web_population(config)
+
+    runners = [
+        ("table1", lambda: run_table1_compliance()),
+        ("figure2", lambda: run_figure2(bundle)),
+        ("figure3", lambda: run_figure3(bundle)),
+        ("figure4", lambda: run_figure4(bundle)),
+        ("table3", lambda: run_table3(bundle)),
+        ("table2", lambda: run_table2_artists()),
+        ("sec62", lambda: run_sec62_active_blocking(population=population)),
+        ("sec63", lambda: run_sec63_cloudflare(population=population)),
+        ("sec22", lambda: run_sec22_meta_tags(population=population)),
+        ("survey", lambda: run_survey_tables()),
+        ("appb2", lambda: run_appb2_parser_comparison(population=population)),
+        ("sec81", lambda: run_sec81_mistakes(population=population)),
+        ("tables9_12", lambda: run_tables9_12_codebooks()),
+        ("crosstabs", lambda: run_survey_crosstabs()),
+        ("taxonomy", lambda: run_change_taxonomy(bundle)),
+        ("category", lambda: run_ext_adoption_by_category(bundle)),
+    ]
+
+    for name, runner in runners:
+        start = time.time()
+        result = runner()
+        elapsed = time.time() - start
+        (RESULTS / f"{result.experiment_id}.txt").write_text(result.text + "\n")
+        print(f"  {name:10s} done in {elapsed:5.1f}s -> results/{result.experiment_id}.txt")
+        summary_lines.append(f"[{result.experiment_id}] {result.title}")
+        for metric, value in sorted(result.metrics.items()):
+            summary_lines.append(f"    {metric} = {value:.4f}")
+        summary_lines.append("")
+
+    (RESULTS / "summary.txt").write_text("\n".join(summary_lines) + "\n")
+    print(f"\nwrote {RESULTS / 'summary.txt'}")
+
+
+if __name__ == "__main__":
+    main()

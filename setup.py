@@ -1,0 +1,9 @@
+"""Legacy setup shim.
+
+The offline environment lacks the `wheel` package that PEP 660 editable
+installs require; with this shim `pip install -e . --no-build-isolation`
+falls back to the setuptools develop path and works without network.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,44 @@
+"""AI user-agent registry, catalogs, and UA-string utilities."""
+
+from .catalogs import (
+    CARBONMADE_DEFAULT_BLOCKED,
+    CLOUDFLARE_AI_BOTS_BLOCKED,
+    CLOUDFLARE_DEFINITELY_AUTOMATED,
+    CLOUDFLARE_VERIFIED_AI_BOTS_BLOCKED,
+    CLOUDFLARE_VERIFIED_BOTS,
+    SQUARESPACE_BLOCKED_AGENTS,
+    generic_crawler_user_agents,
+)
+from .darkvisitors import AI_USER_AGENT_TOKENS, TABLE1_ROWS, build_registry
+from .registry import AgentCategory, AgentRegistry, AIUserAgent, Compliance
+from .useragent import (
+    DEFAULT_BROWSER_UA,
+    contains_token,
+    looks_like_browser,
+    matches_any,
+    primary_product,
+    product_tokens,
+)
+
+__all__ = [
+    "CARBONMADE_DEFAULT_BLOCKED",
+    "CLOUDFLARE_AI_BOTS_BLOCKED",
+    "CLOUDFLARE_DEFINITELY_AUTOMATED",
+    "CLOUDFLARE_VERIFIED_AI_BOTS_BLOCKED",
+    "CLOUDFLARE_VERIFIED_BOTS",
+    "SQUARESPACE_BLOCKED_AGENTS",
+    "generic_crawler_user_agents",
+    "AI_USER_AGENT_TOKENS",
+    "TABLE1_ROWS",
+    "build_registry",
+    "AgentCategory",
+    "AgentRegistry",
+    "AIUserAgent",
+    "Compliance",
+    "DEFAULT_BROWSER_UA",
+    "contains_token",
+    "looks_like_browser",
+    "matches_any",
+    "primary_product",
+    "product_tokens",
+]

@@ -1,0 +1,108 @@
+"""The Table 1 agent population (Dark Visitors-derived).
+
+This is the reproduction's stand-in for the Dark Visitors agent list
+[113]: the 24 AI-related user agents the paper studies, with the
+metadata of Table 1 -- category, company, whether the company publishes
+crawler IPs, whether documentation claims robots.txt compliance, and
+the compliance observed in practice by the Section 5 testbed.
+
+``respects_in_practice`` here records the *paper's* observation; the
+crawler fleet (:mod:`repro.crawlers.fleet`) independently encodes each
+bot's behavior, and the Table 1 benchmark checks that the testbed
+measurement recovers these values rather than reading them back.
+"""
+
+from __future__ import annotations
+
+from .registry import AgentCategory, AIUserAgent, AgentRegistry, Compliance
+
+__all__ = ["build_registry", "TABLE1_ROWS", "AI_USER_AGENT_TOKENS"]
+
+_YES = Compliance.YES
+_NO = Compliance.NO
+_UNK = Compliance.UNKNOWN
+
+_DATA = AgentCategory.AI_DATA
+_ASSIST = AgentCategory.AI_ASSISTANT
+_SEARCH = AgentCategory.AI_SEARCH
+_UNDOC = AgentCategory.UNDOCUMENTED
+_TOKEN = AgentCategory.CONTROL_TOKEN
+
+#: (token, category, company, publish_ip, claims_respect, respect_in_practice,
+#:  full user agent string)
+TABLE1_ROWS = [
+    ("Amazonbot", _SEARCH, "Amazon", _YES, _YES, _YES,
+     "Mozilla/5.0 (compatible; Amazonbot/0.1; +https://developer.amazon.com/amazonbot)"),
+    ("AI2Bot", _DATA, "Ai2", _NO, _UNK, _UNK,
+     "Mozilla/5.0 (compatible; AI2Bot/1.0; +https://www.allenai.org/crawler)"),
+    ("anthropic-ai", _UNDOC, "Anthropic", _NO, _UNK, _UNK,
+     "anthropic-ai"),
+    ("Applebot", _SEARCH, "Apple", _YES, _YES, _YES,
+     "Mozilla/5.0 (compatible; Applebot/0.1; +http://www.apple.com/go/applebot)"),
+    ("Applebot-Extended", _TOKEN, "Apple", _UNK, _YES, _UNK,
+     "Applebot-Extended"),
+    ("Bytespider", _DATA, "ByteDance", _NO, _UNK, _NO,
+     "Mozilla/5.0 (compatible; Bytespider; spider-feedback@bytedance.com)"),
+    ("CCBot", _DATA, "Common Crawl", _YES, _YES, _YES,
+     "CCBot/2.0 (https://commoncrawl.org/faq/)"),
+    ("ChatGPT-User", _ASSIST, "OpenAI", _YES, _YES, _YES,
+     "Mozilla/5.0 AppleWebKit/537.36 (compatible; ChatGPT-User/1.0; +https://openai.com/bot)"),
+    ("Claude-Web", _UNDOC, "Anthropic", _NO, _UNK, _UNK,
+     "Claude-Web"),
+    ("ClaudeBot", _DATA, "Anthropic", _NO, _YES, _YES,
+     "Mozilla/5.0 (compatible; ClaudeBot/1.0; +claudebot@anthropic.com)"),
+    ("cohere-ai", _UNDOC, "Cohere", _NO, _UNK, _UNK,
+     "cohere-ai"),
+    ("Diffbot", _DATA, "Diffbot", _NO, _UNK, _UNK,
+     "Mozilla/5.0 (compatible; Diffbot/0.1; +https://www.diffbot.com)"),
+    ("FacebookBot", _DATA, "Meta", _YES, _YES, _UNK,
+     "FacebookBot/1.0 (+https://developers.facebook.com/docs/sharing/webmasters/crawler)"),
+    ("Google-Extended", _TOKEN, "Google", _UNK, _YES, _UNK,
+     "Google-Extended"),
+    ("GPTBot", _DATA, "OpenAI", _YES, _YES, _YES,
+     "Mozilla/5.0 AppleWebKit/537.36 (compatible; GPTBot/1.1; +https://openai.com/gptbot)"),
+    ("Kangaroo Bot", _DATA, "Kangaroo LLM", _NO, _YES, _UNK,
+     "Mozilla/5.0 (compatible; Kangaroo Bot/1.0; +https://kangaroollm.com.au)"),
+    ("Meta-ExternalAgent", _DATA, "Meta", _YES, _UNK, _YES,
+     "meta-externalagent/1.1 (+https://developers.facebook.com/docs/sharing/webmasters/crawler)"),
+    ("Meta-ExternalFetcher", _ASSIST, "Meta", _YES, _NO, _UNK,
+     "meta-externalfetcher/1.1"),
+    ("OAI-SearchBot", _SEARCH, "OpenAI", _YES, _YES, _UNK,
+     "Mozilla/5.0 AppleWebKit/537.36 (compatible; OAI-SearchBot/1.0; +https://openai.com/searchbot)"),
+    ("omgili", _DATA, "Webz.io", _NO, _YES, _UNK,
+     "omgili/0.5 +http://omgili.com"),
+    ("PerplexityBot", _SEARCH, "Perplexity", _NO, _YES, _UNK,
+     "Mozilla/5.0 (compatible; PerplexityBot/1.0; +https://perplexity.ai/perplexitybot)"),
+    ("Timpibot", _DATA, "Timpi", _NO, _UNK, _UNK,
+     "Mozilla/5.0 (compatible; Timpibot/0.8; +http://www.timpi.io)"),
+    ("Webzio-Extended", _TOKEN, "Webz.io", _UNK, _YES, _UNK,
+     "Webzio-Extended"),
+    ("YouBot", _SEARCH, "You.com", _NO, _UNK, _UNK,
+     "Mozilla/5.0 (compatible; YouBot (+http://www.you.com))"),
+]
+
+#: The 24 tokens, in Table 1 order.
+AI_USER_AGENT_TOKENS = [row[0] for row in TABLE1_ROWS]
+
+
+def build_registry() -> AgentRegistry:
+    """Build the registry of the paper's 24 AI user agents.
+
+    >>> registry = build_registry()
+    >>> len(registry)
+    24
+    >>> registry.get("GPTBot").company
+    'OpenAI'
+    """
+    return AgentRegistry(
+        AIUserAgent(
+            token=token,
+            category=category,
+            company=company,
+            publishes_ips=publish_ip,
+            claims_respect=claims,
+            respects_in_practice=practice,
+            full_user_agent=full_ua,
+        )
+        for token, category, company, publish_ip, claims, practice, full_ua in TABLE1_ROWS
+    )

@@ -1,0 +1,149 @@
+"""User-agent string utilities.
+
+Blocking services and measurement pipelines need to decide whether a
+full user-agent header "is" a given crawler.  Real services use two
+disciplines, both modeled here:
+
+* :func:`contains_token` -- substring containment of a pattern, the
+  discipline Cloudflare's managed rules use (a pattern ending in ``/``
+  requires the version separator, per Appendix C.3's note that "the
+  GitHub repository we used includes the full user-agent string, which
+  is important in case a service uses specific pattern matching").
+* :func:`product_tokens` -- structural parsing into product tokens, the
+  discipline robots.txt group matching uses.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+__all__ = [
+    "product_tokens",
+    "primary_product",
+    "contains_token",
+    "matches_any",
+    "looks_like_browser",
+    "DEFAULT_BROWSER_UA",
+]
+
+#: A typical desktop Chrome user agent, used as the "Control case" UA in
+#: the Section 6 active-blocking methodology.
+DEFAULT_BROWSER_UA = (
+    "Mozilla/5.0 (X11; Linux x86_64) AppleWebKit/537.36 "
+    "(KHTML, like Gecko) Chrome/129.0.0.0 Safari/537.36"
+)
+
+_PRODUCT_RE = re.compile(r"([A-Za-z0-9_.-]+)(?:/([\w.]+))?")
+
+
+def product_tokens(user_agent: str) -> List[str]:
+    """All product tokens in a UA string, in order.
+
+    Parenthesized comments are skipped, matching HTTP's product grammar.
+
+    >>> product_tokens("Mozilla/5.0 (X11; Linux) GPTBot/1.1")
+    ['Mozilla', 'GPTBot']
+    """
+    tokens: List[str] = []
+    depth = 0
+    buf: List[str] = []
+
+    def flush() -> None:
+        text = "".join(buf).strip()
+        buf.clear()
+        if not text:
+            return
+        match = _PRODUCT_RE.match(text)
+        if match:
+            tokens.append(match.group(1))
+
+    for ch in user_agent:
+        if ch == "(":
+            if depth == 0:
+                flush()
+            depth += 1
+            continue
+        if ch == ")":
+            depth = max(0, depth - 1)
+            continue
+        if depth:
+            continue
+        if ch.isspace() or ch == ";":
+            flush()
+            continue
+        buf.append(ch)
+    flush()
+    return tokens
+
+
+def primary_product(user_agent: str) -> str:
+    """The best-guess crawler identity of a UA string.
+
+    Browser-style crawler UAs lead with ``Mozilla/5.0`` and bury the
+    real identity later (often inside the comment); the heuristic
+    returns the last non-boilerplate product token, falling back to the
+    comment content and finally the first token.
+
+    >>> primary_product("Mozilla/5.0 (compatible; GPTBot/1.1; +https://openai.com/gptbot)")
+    'GPTBot'
+    """
+    boilerplate = {
+        "mozilla", "applewebkit", "khtml", "like", "gecko", "safari",
+        "chrome", "chromium", "firefox", "edg", "opr", "compatible",
+        # Platform tokens that appear inside browser UA comments.
+        "x11", "linux", "windows", "macintosh", "intel", "mac", "os",
+        "x86_64", "wow64", "win64", "nt", "android", "iphone", "ipad",
+        "mobile", "cros", "ubuntu", "fedora", "rv",
+    }
+    # First try products outside comments.
+    candidates = [
+        tok for tok in product_tokens(user_agent) if tok.lower() not in boilerplate
+    ]
+    if candidates:
+        return candidates[-1]
+    # Then look inside parenthesized comments for a compatible token.
+    inner = re.findall(r"\(([^)]*)\)", user_agent)
+    for comment in inner:
+        for part in comment.split(";"):
+            part = part.strip()
+            match = _PRODUCT_RE.match(part)
+            if match and match.group(1).lower() not in boilerplate:
+                token = match.group(1)
+                if token and not token.startswith("+"):
+                    return token
+    tokens = product_tokens(user_agent)
+    return tokens[0] if tokens else user_agent.strip()
+
+
+def contains_token(user_agent: str, pattern: str) -> bool:
+    """Case-insensitive containment match as blocking services do it.
+
+    A pattern with a trailing ``/`` only matches when the slash is
+    present in the UA (i.e. a versioned product like ``GPTBot/1.1``),
+    mirroring Cloudflare's documented pattern list.
+
+    >>> contains_token("Mozilla/5.0 (compatible; GPTBot/1.1)", "GPTBot/")
+    True
+    >>> contains_token("GPTBot", "GPTBot/")
+    False
+    """
+    return pattern.lower() in user_agent.lower()
+
+
+def matches_any(user_agent: str, patterns: List[str]) -> bool:
+    """Whether *user_agent* matches any of *patterns* by containment."""
+    return any(contains_token(user_agent, p) for p in patterns)
+
+
+def looks_like_browser(user_agent: str) -> bool:
+    """Heuristic: does the UA present as a regular browser?
+
+    Used by fingerprint-style detectors: a UA that claims Mozilla and a
+    mainstream engine without any bot marker is treated as browser-like.
+    """
+    low = user_agent.lower()
+    if not low.startswith("mozilla/"):
+        return False
+    bot_markers = ("bot", "crawl", "spider", "fetch", "scrape", "http", "python", "curl")
+    return not any(marker in low for marker in bot_markers)

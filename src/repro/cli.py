@@ -1,0 +1,257 @@
+"""Command-line interface.
+
+Installed as the ``repro`` console script::
+
+    repro check robots.txt GPTBot /art/         # allow/deny + winning rule
+    repro classify robots.txt                   # restriction level per AI agent
+    repro lint robots.txt                       # author-mistake findings
+    repro compare robots.txt                    # compliant vs legacy parser
+    repro aitxt ai.txt /gallery/piece.png       # ai.txt training permission
+    repro agents                                # the Table 1 registry
+    repro experiment figure2 [--fast]           # run a paper experiment
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .agents.darkvisitors import AI_USER_AGENT_TOKENS, build_registry
+from .core.aitxt import AiTxtPolicy
+from .core.classify import classify
+from .core.diagnostics import lint
+from .core.legacy import LegacyPolicy
+from .core.policy import RobotsPolicy
+from .report.tables import render_table
+
+__all__ = ["main", "build_parser"]
+
+#: Experiments runnable from the CLI, mapped lazily to avoid paying the
+#: import cost for the lightweight subcommands.
+EXPERIMENT_IDS = [
+    "table1", "table2", "table3", "figure2", "figure3", "figure4",
+    "sec22", "sec62", "sec63", "sec81", "appb2", "survey",
+    "tables9_12", "crosstabs", "taxonomy", "category",
+]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree for the ``repro`` tool."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="robots.txt / AI-crawler tooling from the IMC'25 reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="may <agent> fetch <path> under this robots.txt?")
+    check.add_argument("robots_file")
+    check.add_argument("agent")
+    check.add_argument("path")
+
+    cls = sub.add_parser("classify", help="restriction level per AI user agent")
+    cls.add_argument("robots_file")
+    cls.add_argument("agents", nargs="*", help="agents to classify (default: the 24 Table 1 agents)")
+    cls.add_argument("--include-wildcard", action="store_true",
+                     help="count User-agent: * rules too (ablation mode)")
+
+    lint_cmd = sub.add_parser("lint", help="find author mistakes in a robots.txt")
+    lint_cmd.add_argument("robots_file")
+
+    compare = sub.add_parser("compare", help="compliant vs buggy-legacy parser verdicts")
+    compare.add_argument("robots_file")
+    compare.add_argument("--paths", nargs="*", default=["/", "/page", "/images/a.png"])
+    compare.add_argument("--agents", nargs="*", default=["GPTBot", "CCBot", "anybot"])
+
+    aitxt = sub.add_parser("aitxt", help="may content at <path> be used for AI training?")
+    aitxt.add_argument("aitxt_file")
+    aitxt.add_argument("path")
+
+    sub.add_parser("agents", help="print the Table 1 AI user-agent registry")
+
+    experiment = sub.add_parser("experiment", help="run a paper experiment")
+    experiment.add_argument("experiment_id", choices=EXPERIMENT_IDS)
+    experiment.add_argument("--fast", action="store_true",
+                            help="use a small population for a quick run")
+
+    serve = sub.add_parser("serve", help="serve a directory over localhost HTTP")
+    serve.add_argument("directory")
+    serve.add_argument("--port", type=int, default=0)
+    serve.add_argument("--requests", type=int, default=None,
+                       help="exit after N requests (default: run until Ctrl-C)")
+
+    return parser
+
+
+def _read(path: str) -> str:
+    with open(path, "r", encoding="utf-8", errors="replace") as handle:
+        return handle.read()
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    policy = RobotsPolicy(_read(args.robots_file))
+    verdict = policy.verdict(args.agent, args.path)
+    status = "ALLOWED" if verdict.allowed else "DISALLOWED"
+    rule = (
+        f' (matched rule: {"Allow" if verdict.rule.allow else "Disallow"}: '
+        f"{verdict.rule.path!r}, line {verdict.rule.line_number})"
+        if verdict.rule
+        else " (no matching rule; protocol default)"
+    )
+    print(f"{args.agent} -> {args.path}: {status}{rule}")
+    return 0 if verdict.allowed else 1
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    text = _read(args.robots_file)
+    agents = args.agents or AI_USER_AGENT_TOKENS
+    rows = []
+    for agent in agents:
+        result = classify(text, agent, require_explicit=not args.include_wildcard)
+        rows.append((agent, result.level.name, result.explicit, result.explicit_allow))
+    print(render_table(["agent", "level", "explicit rule", "explicit allow"], rows))
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    findings = lint(_read(args.robots_file))
+    if not findings:
+        print("no findings")
+        return 0
+    rows = [(f.line_number or "-", f.severity.value, f.code, f.message) for f in findings]
+    print(render_table(["line", "severity", "code", "message"], rows))
+    return 1 if any(f.severity.value in ("warning", "error") for f in findings) else 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    text = _read(args.robots_file)
+    compliant = RobotsPolicy(text)
+    legacy = LegacyPolicy(text)
+    rows = []
+    disagreements = 0
+    for agent in args.agents:
+        for path in args.paths:
+            a = compliant.is_allowed(agent, path)
+            b = legacy.is_allowed(agent, path)
+            if a != b:
+                disagreements += 1
+            rows.append((agent, path, "allow" if a else "deny",
+                         "allow" if b else "deny", "" if a == b else "<-- differs"))
+    print(render_table(["agent", "path", "RFC 9309", "legacy parser", ""], rows))
+    print(f"\n{disagreements} disagreement(s)")
+    return 0
+
+
+def _cmd_aitxt(args: argparse.Namespace) -> int:
+    policy = AiTxtPolicy(_read(args.aitxt_file))
+    permitted = policy.may_train(args.path)
+    print(f"{args.path}: training use {'PERMITTED' if permitted else 'NOT permitted'}")
+    return 0 if permitted else 1
+
+
+def _cmd_agents(_: argparse.Namespace) -> int:
+    registry = build_registry()
+    rows = [
+        (a.token, a.category.value, a.company, a.publishes_ips.value,
+         a.claims_respect.value, a.respects_in_practice.value)
+        for a in registry
+    ]
+    print(render_table(
+        ["User Agent", "Category", "Company", "Publish IP", "Claims Respect",
+         "Respects (paper)"],
+        rows,
+    ))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from .report import experiments as exp
+    from .web.population import PopulationConfig, build_web_population
+
+    config = (
+        PopulationConfig(universe_size=1200, list_size=800, top5k_cut=100,
+                         audit_size=300)
+        if args.fast
+        else None
+    )
+
+    eid = args.experiment_id
+    if eid in ("figure2", "figure3", "figure4", "table3", "taxonomy", "category"):
+        bundle = exp.build_longitudinal_bundle(config)
+        runner = {
+            "figure2": exp.run_figure2,
+            "figure3": exp.run_figure3,
+            "figure4": exp.run_figure4,
+            "table3": exp.run_table3,
+            "taxonomy": exp.run_change_taxonomy,
+            "category": exp.run_ext_adoption_by_category,
+        }[eid]
+        result = runner(bundle)
+    elif eid in ("sec22", "sec62", "sec63", "appb2", "sec81"):
+        population = build_web_population(config)
+        runner = {
+            "sec22": exp.run_sec22_meta_tags,
+            "sec62": exp.run_sec62_active_blocking,
+            "sec63": exp.run_sec63_cloudflare,
+            "appb2": exp.run_appb2_parser_comparison,
+            "sec81": exp.run_sec81_mistakes,
+        }[eid]
+        result = runner(population=population)
+    elif eid == "table1":
+        result = exp.run_table1_compliance()
+    elif eid == "table2":
+        result = exp.run_table2_artists()
+    elif eid == "tables9_12":
+        result = exp.run_tables9_12_codebooks()
+    elif eid == "crosstabs":
+        result = exp.run_survey_crosstabs()
+    else:
+        result = exp.run_survey_tables()
+    print(result.text)
+    print("\nmetrics:")
+    for name, value in sorted(result.metrics.items()):
+        print(f"  {name} = {value:.4f}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import time
+
+    from .net.realserver import RealHttpServer
+    from .net.server import Website
+
+    site = Website.from_directory(args.directory)
+    with RealHttpServer(site, port=args.port) as server:
+        print(f"serving {args.directory} at http://{server.address}/ "
+              f"({len(site.pages)} pages)")
+        try:
+            while True:
+                if args.requests is not None and len(site.access_log) >= args.requests:
+                    break
+                time.sleep(0.05)
+        except KeyboardInterrupt:
+            pass
+    print(f"served {len(site.access_log)} request(s)")
+    return 0
+
+
+_HANDLERS = {
+    "check": _cmd_check,
+    "classify": _cmd_classify,
+    "lint": _cmd_lint,
+    "compare": _cmd_compare,
+    "aitxt": _cmd_aitxt,
+    "agents": _cmd_agents,
+    "experiment": _cmd_experiment,
+    "serve": _cmd_serve,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,202 @@
+"""Semantic diffing of robots.txt versions.
+
+The longitudinal analysis wants to know not just *that* a file changed
+between snapshots but *what the change meant*: which agents gained or
+lost restrictions, whether the edit was surgical (only the targeted
+groups touched -- the Future PLC pattern of Section 3.3) or a rewrite,
+and whether the new version expresses reverse intent (explicit allows,
+Section 3.4).  :func:`diff_robots` compares two versions at the level
+of per-agent restriction outcomes, and :func:`classify_change` maps a
+diff onto the paper's change taxonomy.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .classify import RestrictionLevel, classify, explicitly_allows
+from .policy import RobotsPolicy
+from .serialize import agents_mentioned
+
+__all__ = ["AgentChange", "RobotsDiff", "diff_robots", "ChangeKind", "classify_change"]
+
+
+@dataclass(frozen=True)
+class AgentChange:
+    """How one agent's treatment changed between versions.
+
+    Attributes:
+        agent: The agent token (as named in either version).
+        before: Restriction level in the old version.
+        after: Restriction level in the new version.
+    """
+
+    agent: str
+    before: RestrictionLevel
+    after: RestrictionLevel
+
+    @property
+    def tightened(self) -> bool:
+        return self.after > self.before
+
+    @property
+    def loosened(self) -> bool:
+        return self.after < self.before
+
+
+@dataclass
+class RobotsDiff:
+    """The semantic difference between two robots.txt versions.
+
+    Attributes:
+        changes: Per-agent level changes (unchanged agents omitted).
+        agents_added: Agents named only in the new version.
+        agents_removed: Agents named only in the old version.
+        allow_gained: Agents explicitly allowed only in the new version.
+        wildcard_changed: Whether the ``*`` group's effective rules
+            changed (probed on representative paths).
+    """
+
+    changes: List[AgentChange] = field(default_factory=list)
+    agents_added: List[str] = field(default_factory=list)
+    agents_removed: List[str] = field(default_factory=list)
+    allow_gained: List[str] = field(default_factory=list)
+    wildcard_changed: bool = False
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the versions are semantically equivalent (for the
+        probed agents and paths)."""
+        return not (
+            self.changes
+            or self.agents_added
+            or self.agents_removed
+            or self.allow_gained
+            or self.wildcard_changed
+        )
+
+    def tightened_agents(self) -> List[str]:
+        return [c.agent for c in self.changes if c.tightened]
+
+    def loosened_agents(self) -> List[str]:
+        return [c.agent for c in self.changes if c.loosened]
+
+
+_WILDCARD_PROBES = ("/", "/admin/", "/images/a.png", "/blog/post", "/search?q=x")
+
+
+def diff_robots(
+    before: Optional[str],
+    after: Optional[str],
+    agents: Optional[Sequence[str]] = None,
+) -> RobotsDiff:
+    """Compute the semantic diff between two robots.txt versions.
+
+    Args:
+        before / after: File contents (None = no robots.txt served).
+        agents: Agents to compare.  Defaults to the union of agents
+            named in either version.
+    """
+    named_before = set(agents_mentioned(before)) if before else set()
+    named_after = set(agents_mentioned(after)) if after else set()
+    probe_agents: Iterable[str]
+    if agents is None:
+        probe_agents = sorted((named_before | named_after) - {"*"})
+    else:
+        probe_agents = agents
+
+    diff = RobotsDiff()
+    diff.agents_added = sorted(a for a in named_after - named_before if a != "*")
+    diff.agents_removed = sorted(a for a in named_before - named_after if a != "*")
+
+    for agent in probe_agents:
+        level_before = classify(before, agent).level
+        level_after = classify(after, agent).level
+        if level_before is not level_after:
+            diff.changes.append(AgentChange(agent, level_before, level_after))
+        allowed_before = before is not None and explicitly_allows(before, agent)
+        allowed_after = after is not None and explicitly_allows(after, agent)
+        if allowed_after and not allowed_before:
+            diff.allow_gained.append(agent)
+
+    # Wildcard comparison is structural (the effective rule multiset of
+    # the "*" groups) so arbitrary path edits are caught, with probe
+    # paths as a belt-and-braces semantic check.
+    def wildcard_rules(text: Optional[str]):
+        if text is None:
+            return None
+        rules = RobotsPolicy(text).rules_for("generic-probe-bot").rules
+        return sorted((rule.allow, rule.path) for rule in rules if rule.path)
+
+    if wildcard_rules(before) != wildcard_rules(after):
+        diff.wildcard_changed = True
+    else:
+        policy_before = RobotsPolicy(before) if before is not None else None
+        policy_after = RobotsPolicy(after) if after is not None else None
+        for path in _WILDCARD_PROBES:
+            verdict_before = (
+                policy_before.is_allowed("generic-probe-bot", path)
+                if policy_before
+                else True
+            )
+            verdict_after = (
+                policy_after.is_allowed("generic-probe-bot", path)
+                if policy_after
+                else True
+            )
+            if verdict_before != verdict_after:
+                diff.wildcard_changed = True
+                break
+    return diff
+
+
+class ChangeKind(enum.Enum):
+    """The paper-aligned taxonomy of robots.txt changes."""
+
+    #: Versions semantically equivalent (formatting-only edits).
+    NO_CHANGE = "no-change"
+    #: AI restrictions added (the Section 3.2 adoption events).
+    AI_RESTRICTION_ADDED = "ai-restriction-added"
+    #: AI restrictions removed, rest untouched (the Section 3.3
+    #: data-deal pattern).
+    AI_RESTRICTION_REMOVED = "ai-restriction-removed"
+    #: Explicit allow appeared (the Section 3.4 reverse intent).
+    EXPLICIT_ALLOW_ADDED = "explicit-allow-added"
+    #: Only non-AI rules changed (wildcard paths, SEO bots, sitemaps).
+    UNRELATED_CHANGE = "unrelated-change"
+    #: Both additions and removals of AI restrictions (rewrites).
+    MIXED = "mixed"
+
+
+def classify_change(
+    before: Optional[str],
+    after: Optional[str],
+    ai_agents: Sequence[str],
+) -> ChangeKind:
+    """Map one version transition onto the change taxonomy.
+
+    >>> classify_change(
+    ...     "User-agent: *\\nDisallow: /x/",
+    ...     "User-agent: *\\nDisallow: /x/\\nUser-agent: GPTBot\\nDisallow: /",
+    ...     ["GPTBot"],
+    ... ).value
+    'ai-restriction-added'
+    """
+    diff = diff_robots(before, after)
+    if diff.is_empty:
+        return ChangeKind.NO_CHANGE
+    ai_set = {a.lower() for a in ai_agents}
+    tightened = [a for a in diff.tightened_agents() if a.lower() in ai_set]
+    loosened = [a for a in diff.loosened_agents() if a.lower() in ai_set]
+    allows = [a for a in diff.allow_gained if a.lower() in ai_set]
+    if allows and not tightened:
+        return ChangeKind.EXPLICIT_ALLOW_ADDED
+    if tightened and loosened:
+        return ChangeKind.MIXED
+    if tightened:
+        return ChangeKind.AI_RESTRICTION_ADDED
+    if loosened:
+        return ChangeKind.AI_RESTRICTION_REMOVED
+    return ChangeKind.UNRELATED_CHANGE

@@ -1,0 +1,188 @@
+"""Path matching for robots.txt rules per RFC 9309 section 2.2.3.
+
+Rule paths may contain two metacharacters:
+
+* ``*`` matches any sequence of characters (including none), and
+* ``$`` at the end of the pattern anchors the match to the end of the
+  request path.
+
+Matching is performed against the percent-decoded-then-re-encoded form
+of both pattern and path so that equivalent encodings compare equal
+(``/a%3Cd.html`` and ``/a<d.html`` must match each other).
+
+Rule precedence follows the "longest match" rule used by Google's
+open-source parser: the applicable rule is the one whose pattern is the
+longest, and when an allow and a disallow rule tie in length, the allow
+rule wins (least-restrictive tie break).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, Tuple
+from urllib.parse import quote, unquote
+
+__all__ = [
+    "Rule",
+    "normalize_path",
+    "pattern_matches",
+    "match_priority",
+    "evaluate",
+    "Verdict",
+]
+
+#: Characters that stay verbatim when paths are re-encoded.  This mirrors
+#: the set that mainstream parsers leave untouched: RFC 3986 unreserved
+#: plus sub-delims plus the path/query structural characters.
+_SAFE = "/~!$&'()*+,;=:@%-._"
+
+
+def normalize_path(path: str) -> str:
+    """Return a canonical percent-encoded form of *path*.
+
+    The path is percent-decoded and re-encoded with a fixed safe set so
+    that two spellings of the same path compare equal.  An empty path is
+    normalized to ``/`` as required by the RFC.
+
+    >>> normalize_path("/a%3cd.html")
+    '/a%3Cd.html'
+    >>> normalize_path("")
+    '/'
+    """
+    if not path:
+        return "/"
+    return quote(unquote(path), safe=_SAFE)
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A single allow/disallow rule attached to a group.
+
+    Attributes:
+        allow: True for ``Allow``, False for ``Disallow``.
+        path: The raw pattern as written in the file.
+        line_number: Source line, for diagnostics (0 when synthetic).
+    """
+
+    allow: bool
+    path: str
+    line_number: int = 0
+
+    @property
+    def is_empty(self) -> bool:
+        """An empty pattern matches nothing; ``Disallow:`` means allow all."""
+        return self.path == ""
+
+
+def pattern_matches(pattern: str, path: str) -> bool:
+    """Whether a robots.txt *pattern* matches a normalized request *path*.
+
+    Both arguments are normalized internally, so callers may pass raw
+    strings.  Empty patterns match nothing (per RFC an empty ``Disallow``
+    value imposes no restriction).
+
+    >>> pattern_matches("/fish*.php", "/fishheads/catfish.php?id=2")
+    True
+    >>> pattern_matches("/*.php$", "/filename.php/")
+    False
+    """
+    if pattern == "":
+        return False
+    pattern = normalize_path(pattern)
+    path = normalize_path(path)
+
+    anchored = pattern.endswith("$")
+    if anchored:
+        pattern = pattern[:-1]
+
+    pieces = pattern.split("*")
+    if len(pieces) == 1:
+        if anchored:
+            return path == pattern
+        return path.startswith(pattern)
+
+    # Greedy segment scan: the first piece must be a prefix, the last
+    # piece (when anchored) must be a suffix, and intermediate pieces
+    # must appear in order.
+    if not path.startswith(pieces[0]):
+        return False
+    pos = len(pieces[0])
+    middle = pieces[1:-1]
+    last = pieces[-1]
+    for piece in middle:
+        if piece == "":
+            continue
+        found = path.find(piece, pos)
+        if found == -1:
+            return False
+        pos = found + len(piece)
+    if anchored:
+        return path.endswith(last) and len(path) - len(last) >= pos
+    if last == "":
+        return True
+    return path.find(last, pos) != -1
+
+
+def match_priority(pattern: str) -> int:
+    """Priority of a matching rule: the length of its normalized pattern.
+
+    Longer patterns are considered more specific.  This mirrors the
+    byte-length priority used by Google's matcher.
+    """
+    return len(normalize_path(pattern))
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """Outcome of evaluating a path against a rule set.
+
+    Attributes:
+        allowed: Final decision.
+        rule: The winning rule, or None when no rule matched.
+    """
+
+    allowed: bool
+    rule: Optional[Rule] = None
+
+
+def evaluate(rules: Iterable[Rule], path: str) -> Verdict:
+    """Evaluate *path* against *rules* using longest-match precedence.
+
+    Returns an allow verdict when no rule matches (the protocol default)
+    and applies the allow-wins tie break for equal-priority matches.
+    """
+    path = normalize_path(path)
+    best: Optional[Tuple[int, Rule]] = None
+    for rule in rules:
+        if rule.is_empty:
+            continue
+        if not pattern_matches(rule.path, path):
+            continue
+        priority = match_priority(rule.path)
+        if best is None:
+            best = (priority, rule)
+            continue
+        best_priority, best_rule = best
+        if priority > best_priority:
+            best = (priority, rule)
+        elif priority == best_priority and rule.allow and not best_rule.allow:
+            best = (priority, rule)
+    if best is None:
+        return Verdict(allowed=True, rule=None)
+    return Verdict(allowed=best[1].allow, rule=best[1])
+
+
+def first_match(rules: Sequence[Rule], path: str) -> Verdict:
+    """Evaluate using pre-RFC "first matching rule wins" semantics.
+
+    The original 1994 robots.txt draft specified first-match evaluation;
+    some home-grown parsers still implement it.  Exposed so the legacy
+    parser and the ablation benchmarks can compare the two disciplines.
+    """
+    path = normalize_path(path)
+    for rule in rules:
+        if rule.is_empty:
+            continue
+        if pattern_matches(rule.path, path):
+            return Verdict(allowed=rule.allow, rule=rule)
+    return Verdict(allowed=True, rule=None)

@@ -1,0 +1,184 @@
+"""Common-Crawl-style snapshotting of robots.txt across a population.
+
+The longitudinal analysis (Section 3) consumes, per snapshot and per
+site, either the robots.txt content or the fact that the crawl errored
+(e.g. an actively-blocking site returning 403 to the CC user agent).
+This module reproduces that data-collection layer:
+
+* the fifteen snapshot specifications of Table 3 (Appendix B.1),
+* a snapshot crawler that visits each site one or more times per
+  snapshot, deduplicates to the most recent non-errored fetch, and does
+  **not** follow redirects (CC's behavior; the analysis layer applies
+  the "www."-variant fallback instead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from ..net.errors import NetError
+from ..net.http import Headers, Request
+from ..net.transport import Network
+
+__all__ = ["SnapshotSpec", "SiteRecord", "Snapshot", "SnapshotCrawler", "SNAPSHOT_SPECS"]
+
+#: CCBot's real user agent string.
+CCBOT_UA = "CCBot/2.0 (https://commoncrawl.org/faq/)"
+
+#: Months are encoded as an integer index: October 2022 is month 0,
+#: November 2022 is month 1, ..., October 2024 is month 24.
+MONTH0 = "2022-10"
+
+
+def month_label(index: int) -> str:
+    """Human-readable ``YYYY-MM`` for a month index (Oct 2022 = 0).
+
+    >>> month_label(0)
+    '2022-10'
+    >>> month_label(14)
+    '2023-12'
+    """
+    year = 2022 + (9 + index) // 12
+    month = (9 + index) % 12 + 1
+    return f"{year}-{month:02d}"
+
+
+@dataclass(frozen=True)
+class SnapshotSpec:
+    """One Common Crawl snapshot (a Table 3 row).
+
+    Attributes:
+        snapshot_id: CC-style identifier, e.g. ``"2023-40"``.
+        label: The months covered, e.g. ``"Nov/Dec 2023"``.
+        month_index: The *most recent* month covered, as an index from
+            October 2022; Figure 2 plots snapshots at this month.
+    """
+
+    snapshot_id: str
+    label: str
+    month_index: int
+
+
+#: The fifteen snapshots of Table 3.  Month indices place each snapshot
+#: at the most recent month it covers (the paper's plotting convention).
+SNAPSHOT_SPECS = [
+    SnapshotSpec("2022-05", "Sep/Oct 2022", 0),
+    SnapshotSpec("2022-21", "Nov/Dec 2022", 2),
+    SnapshotSpec("2022-40", "Jan/Feb 2023", 4),
+    SnapshotSpec("2023-06", "Mar/Apr 2023", 6),
+    SnapshotSpec("2023-14", "May/Jun 2023", 8),
+    SnapshotSpec("2023-23", "Sep/Oct 2023", 12),
+    SnapshotSpec("2023-40", "Nov/Dec 2023", 14),
+    SnapshotSpec("2023-50", "Feb/Mar 2024", 17),
+    SnapshotSpec("2024-10", "Apr 2024", 18),
+    SnapshotSpec("2024-18", "May 2024", 19),
+    SnapshotSpec("2024-22", "Jun 2024", 20),
+    SnapshotSpec("2024-26", "Jul 2024", 21),
+    SnapshotSpec("2024-33", "Aug 2024", 22),
+    SnapshotSpec("2024-38", "Sep 2024", 23),
+    SnapshotSpec("2024-42", "Oct 2024", 24),
+]
+
+
+@dataclass(frozen=True)
+class SiteRecord:
+    """The snapshot's record for one site.
+
+    Attributes:
+        domain: The site queried.
+        status: Final HTTP status (0 on transport error).
+        robots_txt: Content when status is 200, else None.
+        error: Transport error text, if any.
+    """
+
+    domain: str
+    status: int
+    robots_txt: Optional[str] = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether a robots.txt was successfully retrieved."""
+        return self.status == 200 and self.robots_txt is not None
+
+    @property
+    def missing(self) -> bool:
+        """Whether the site affirmatively has no robots.txt (404)."""
+        return self.status == 404
+
+
+@dataclass
+class Snapshot:
+    """One snapshot's records for all crawled sites."""
+
+    spec: SnapshotSpec
+    records: Dict[str, SiteRecord] = field(default_factory=dict)
+
+    def record_for(self, domain: str) -> Optional[SiteRecord]:
+        """The record for *domain*, trying "www." variants like the
+        paper's coverage-improvement step (Appendix B.1)."""
+        record = self.records.get(domain)
+        if record is not None and (record.ok or record.missing):
+            return record
+        if domain.startswith("www."):
+            alt = self.records.get(domain[4:])
+        else:
+            alt = self.records.get("www." + domain)
+        if alt is not None and (alt.ok or alt.missing):
+            return alt
+        return record
+
+    def sites_with_robots(self) -> List[str]:
+        """Domains with a successfully retrieved robots.txt."""
+        return [d for d, r in self.records.items() if r.ok]
+
+
+class SnapshotCrawler:
+    """Crawl robots.txt for a site list, Common Crawl style.
+
+    The crawler identifies as CCBot, makes *visits_per_site* requests
+    per site, keeps the most recent non-errored response (the paper's
+    dedup rule), and never follows redirects.
+    """
+
+    def __init__(self, network: Network, visits_per_site: int = 1):
+        self.network = network
+        self.visits_per_site = visits_per_site
+
+    def _fetch_once(self, domain: str) -> SiteRecord:
+        request = Request(
+            host=domain,
+            path="/robots.txt",
+            headers=Headers({"User-Agent": CCBOT_UA}),
+            client_ip="100.64.6.14",
+        )
+        try:
+            response = self.network.request(request)
+        except NetError as exc:
+            return SiteRecord(domain=domain, status=0, error=str(exc))
+        if response.status == 200:
+            return SiteRecord(domain=domain, status=200, robots_txt=response.text)
+        return SiteRecord(domain=domain, status=response.status)
+
+    def crawl_site(self, domain: str) -> SiteRecord:
+        """Fetch one site's robots.txt with dedup over repeat visits."""
+        best: Optional[SiteRecord] = None
+        for _ in range(self.visits_per_site):
+            record = self._fetch_once(domain)
+            if best is None:
+                best = record
+                continue
+            # Most recent non-errored crawl wins; an errored crawl never
+            # displaces an earlier successful one.
+            if record.status != 0 and record.error is None:
+                best = record
+        assert best is not None
+        return best
+
+    def snapshot(self, spec: SnapshotSpec, domains: Iterable[str]) -> Snapshot:
+        """Crawl *domains* and assemble a :class:`Snapshot`."""
+        snap = Snapshot(spec=spec)
+        for domain in domains:
+            snap.records[domain] = self.crawl_site(domain)
+        return snap

@@ -1,0 +1,304 @@
+"""The crawl engine: frontier management plus robots.txt discipline.
+
+:class:`Crawler` executes crawls for one :class:`CrawlerProfile` over a
+:class:`~repro.net.transport.Network`.  The engine implements the full
+observable protocol surface the Section 5 testbed measures:
+
+* whether and when robots.txt is requested (including wrong-path
+  fetches by buggy crawlers),
+* whether directives are obeyed per fetch,
+* robots.txt caching with a TTL (stale-cache crawlers keep using old
+  rules after the file changes),
+* BFS link discovery from returned HTML with a page budget.
+
+All state a measurement would see ends up in the *server's* access
+logs; the crawler additionally reports a :class:`CrawlResult` for
+driver convenience.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core.policy import RobotsPolicy
+from ..net.errors import NetError
+from ..net.http import Headers, Request, Response
+from ..net.server import extract_links
+from ..net.transport import Network
+from .profiles import CrawlerProfile, RobotsBehavior
+
+__all__ = ["CrawlResult", "Crawler"]
+
+
+@dataclass
+class CrawlResult:
+    """Outcome of one crawl of one host.
+
+    Attributes:
+        host: Crawled hostname.
+        fetched: Paths fetched with their response status, in order.
+        robots_fetched: Whether a (correct-path) robots.txt request was
+            made during this crawl (a cached policy may have been used
+            instead -- see ``robots_from_cache``).
+        robots_from_cache: Whether the policy came from the crawler's
+            cache rather than a fresh fetch.
+        skipped: Paths the crawler declined to fetch because of
+            robots.txt.
+        errors: Transport errors encountered, as strings.
+        time_spent: Simulated seconds consumed by politeness intervals
+            (crawl-delay / default fetch interval) during this crawl.
+    """
+
+    host: str
+    fetched: List[Tuple[str, int]] = field(default_factory=list)
+    robots_fetched: bool = False
+    robots_from_cache: bool = False
+    skipped: List[str] = field(default_factory=list)
+    errors: List[str] = field(default_factory=list)
+    time_spent: float = 0.0
+
+    @property
+    def content_fetches(self) -> List[str]:
+        """Paths of non-robots fetches."""
+        return [path for path, _ in self.fetched if not path.startswith("/robots.txt")]
+
+
+@dataclass
+class _CacheEntry:
+    policy: Optional[RobotsPolicy]
+    fetched_at: float
+    etag: Optional[str] = None
+
+
+class Crawler:
+    """A crawler instance bound to one profile and one network.
+
+    >>> # Crawl flow is exercised in tests/crawlers/test_engine.py.
+    """
+
+    def __init__(self, profile: CrawlerProfile, network: Network):
+        self.profile = profile
+        self.network = network
+        self._robots_cache: Dict[str, _CacheEntry] = {}
+        self._crawl_count: Dict[str, int] = {}
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _request(
+        self, host: str, path: str, extra_headers: Optional[Dict[str, str]] = None
+    ) -> Response:
+        headers = {"User-Agent": self.profile.user_agent}
+        if extra_headers:
+            headers.update(extra_headers)
+        return self.network.request(
+            Request(
+                host=host,
+                path=path,
+                headers=Headers(headers),
+                client_ip=self.profile.source_ip,
+            )
+        )
+
+    @property
+    def now(self) -> float:
+        """Simulation clock (delegates to the network)."""
+        return self.network.now
+
+    # -- robots.txt discipline --------------------------------------------------
+
+    def _load_policy(self, host: str, result: CrawlResult) -> Optional[RobotsPolicy]:
+        """Fetch/cache robots.txt per the profile's behavior.
+
+        Returns the policy to obey, or None when the crawler either has
+        no policy (404, transport error) or does not obey one.
+        """
+        behavior = self.profile.behavior
+
+        if behavior is RobotsBehavior.NO_FETCH:
+            return None
+
+        if behavior is RobotsBehavior.BUGGY_FETCH:
+            # Request the wrong path; whatever comes back is not a
+            # usable policy, and the crawler proceeds unconstrained.
+            try:
+                self._request(host, self.profile.buggy_robots_path)
+            except NetError as exc:
+                result.errors.append(str(exc))
+            return None
+
+        if behavior is RobotsBehavior.INTERMITTENT_FETCH:
+            count = self._crawl_count.get(host, 0)
+            if count % self.profile.intermittent_period != 0:
+                cached = self._robots_cache.get(host)
+                if cached is not None:
+                    result.robots_from_cache = True
+                    return cached.policy
+                return None
+
+        cached = self._robots_cache.get(host)
+        if cached is not None and self.profile.robots_cache_ttl > 0:
+            age = self.now - cached.fetched_at
+            if age < self.profile.robots_cache_ttl:
+                result.robots_from_cache = True
+                return cached.policy
+
+        conditional: Optional[Dict[str, str]] = None
+        if (
+            self.profile.revalidates_robots
+            and cached is not None
+            and cached.etag is not None
+        ):
+            conditional = {"If-None-Match": cached.etag}
+        try:
+            response = self._request(host, "/robots.txt", extra_headers=conditional)
+        except NetError as exc:
+            result.errors.append(str(exc))
+            return None
+        result.robots_fetched = True
+        result.fetched.append(("/robots.txt", response.status))
+        if response.status == 304 and cached is not None:
+            # Not modified: keep the cached policy, refresh its age.
+            cached.fetched_at = self.now
+            result.robots_from_cache = True
+            return cached.policy
+        # RFC 9309 section 2.3.1: a 4xx means "no policy, crawl freely";
+        # a 5xx means robots.txt is *unreachable* and the crawler MUST
+        # assume complete disallow.  (Actively-blocking sites that 403
+        # the robots.txt fetch therefore keep obedient bots out.)
+        if response.ok:
+            policy: Optional[RobotsPolicy] = RobotsPolicy(response.text)
+        elif 500 <= response.status < 600:
+            policy = RobotsPolicy("User-agent: *\nDisallow: /")
+        elif response.status == 403:
+            # 403 is formally a 4xx, but a server that refuses the
+            # robots.txt request is refusing the crawler; production
+            # crawlers treat it as unreachable.  Configurable via the
+            # profile for bots that interpret it as "no policy".
+            policy = (
+                RobotsPolicy("User-agent: *\nDisallow: /")
+                if self.profile.forbidden_robots_means_disallow
+                else None
+            )
+        else:
+            policy = None
+        self._robots_cache[host] = _CacheEntry(
+            policy=policy,
+            fetched_at=self.now,
+            etag=response.headers.get("ETag"),
+        )
+        return policy
+
+    def _may_fetch(self, policy: Optional[RobotsPolicy], path: str) -> bool:
+        if not self.profile.behavior.obeys:
+            return True
+        if policy is None:
+            return True
+        return policy.is_allowed(self.profile.token, path)
+
+    # -- public API ---------------------------------------------------------------
+
+    def fetch(self, host: str, path: str) -> CrawlResult:
+        """Fetch a single URL with full robots.txt discipline.
+
+        This is the operation a user-triggered assistant crawler
+        performs (Section 5.1's active measurement).
+        """
+        result = CrawlResult(host=host)
+        self._crawl_count[host] = self._crawl_count.get(host, 0) + 1
+        policy = self._load_policy(host, result)
+        if not self._may_fetch(policy, path):
+            result.skipped.append(path)
+            return result
+        try:
+            response = self._request(host, path)
+            result.fetched.append((path, response.status))
+        except NetError as exc:
+            result.errors.append(str(exc))
+        return result
+
+    def crawl(
+        self,
+        host: str,
+        start_path: str = "/",
+        max_pages: int = 10,
+        time_budget: Optional[float] = None,
+    ) -> CrawlResult:
+        """BFS-crawl a host from *start_path* up to *max_pages* pages.
+
+        Args:
+            time_budget: Simulated seconds available for this crawl.
+                When the profile honors ``Crawl-delay`` (or has a
+                default fetch interval), each content fetch after the
+                first consumes that many seconds; the crawl stops when
+                the budget runs out.  ``CrawlResult.time_spent`` records
+                the consumption, so rate-limiting experiments can
+                compare polite and impolite crawlers.
+        """
+        result = CrawlResult(host=host)
+        self._crawl_count[host] = self._crawl_count.get(host, 0) + 1
+        policy = self._load_policy(host, result)
+
+        interval = self.profile.default_fetch_interval
+        if self.profile.honors_crawl_delay and policy is not None:
+            delay = policy.crawl_delay(self.profile.token)
+            if delay is not None:
+                interval = max(interval, delay)
+
+        frontier: List[str] = [start_path]
+        if self.profile.use_sitemaps and policy is not None and policy.sitemaps:
+            from ..net.sitemap import discover_sitemap_urls
+
+            for path in discover_sitemap_urls(
+                self.network, host, policy.sitemaps,
+                user_agent=self.profile.user_agent,
+            ):
+                if path not in frontier:
+                    frontier.append(path)
+        seen: Set[str] = set(frontier)
+        fetched_pages = 0
+        while frontier and fetched_pages < max_pages:
+            path = frontier.pop(0)
+            if not self._may_fetch(policy, path):
+                result.skipped.append(path)
+                continue
+            if (
+                time_budget is not None
+                and fetched_pages > 0
+                and result.time_spent + interval > time_budget
+            ):
+                break
+            try:
+                response = self._request(host, path)
+            except NetError as exc:
+                result.errors.append(str(exc))
+                continue
+            if fetched_pages > 0:
+                result.time_spent += interval
+            result.fetched.append((path, response.status))
+            fetched_pages += 1
+            if response.ok and b"href" in response.body:
+                for link in extract_links(response.text):
+                    if not link.startswith("/"):
+                        continue
+                    if link not in seen:
+                        seen.add(link)
+                        frontier.append(link)
+        return result
+
+    def raw_fetch(self, host: str, path: str) -> Response:
+        """One request with no robots.txt discipline at all.
+
+        Exists for modeling protocol anomalies (e.g. ChatGPT-User's
+        single unprompted visit that skipped robots.txt, Section 5.2.1)
+        and for test instrumentation.  Normal crawling must go through
+        :meth:`fetch` / :meth:`crawl`.
+        """
+        return self._request(host, path)
+
+    def invalidate_robots_cache(self, host: Optional[str] = None) -> None:
+        """Drop cached policies (all hosts when *host* is None)."""
+        if host is None:
+            self._robots_cache.clear()
+        else:
+            self._robots_cache.pop(host, None)

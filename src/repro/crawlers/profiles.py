@@ -1,0 +1,133 @@
+"""Crawler behavior profiles: how a bot treats robots.txt.
+
+Section 5's central finding is that compliance is a *behavioral*
+property per crawler: most large AI data crawlers fetch and obey
+robots.txt, Bytespider fetches it and ignores it, and most third-party
+assistant crawlers never fetch it at all.  One third-party crawler had
+"a bug in its implementation that caused it to incorrectly fetch the
+robots.txt file", and one "did not fetch the robots.txt file most of
+the time".  :class:`RobotsBehavior` enumerates these observed modes and
+:class:`CrawlerProfile` binds a user agent to one of them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..agents.ipranges import crawler_ip
+
+__all__ = ["RobotsBehavior", "CrawlerProfile"]
+
+
+class RobotsBehavior(enum.Enum):
+    """How a crawler treats robots.txt."""
+
+    #: Fetch robots.txt before crawling and obey its directives.
+    FETCH_AND_OBEY = "fetch-and-obey"
+    #: Fetch robots.txt (it shows in server logs) but ignore the rules.
+    #: This is Bytespider's observed behavior.
+    FETCH_AND_IGNORE = "fetch-and-ignore"
+    #: Never fetch robots.txt; crawl regardless.  20 of 23 third-party
+    #: assistant crawlers behave this way.
+    NO_FETCH = "no-fetch"
+    #: Request a wrong path (e.g. ``/robots.txt/`` or ``//robots.txt``)
+    #: and then crawl as if no policy existed.
+    BUGGY_FETCH = "buggy-fetch"
+    #: Fetch robots.txt only every Nth visit; obey it when fetched.
+    INTERMITTENT_FETCH = "intermittent-fetch"
+
+    @property
+    def ever_fetches(self) -> bool:
+        """Whether server logs can ever show a robots.txt fetch."""
+        return self is not RobotsBehavior.NO_FETCH
+
+    @property
+    def obeys(self) -> bool:
+        """Whether the crawler honors directives when it has them."""
+        return self in (
+            RobotsBehavior.FETCH_AND_OBEY,
+            RobotsBehavior.INTERMITTENT_FETCH,
+        )
+
+
+@dataclass
+class CrawlerProfile:
+    """Identity and behavior of one crawler.
+
+    Attributes:
+        token: Product token used in robots.txt group matching.
+        user_agent: Full User-Agent header sent with requests.
+        behavior: robots.txt treatment.
+        source_ip: Address requests originate from; defaults to the
+            crawler's assigned range.
+        robots_cache_ttl: How long (simulation seconds) a fetched
+            robots.txt is cached.  Large values model the crawlers that
+            "may cache robots.txt and continue to fetch content even
+            after it has changed" (Section 8.2).
+        intermittent_period: For INTERMITTENT_FETCH, robots.txt is
+            fetched on every Nth crawl only.
+        buggy_robots_path: The wrong path a BUGGY_FETCH crawler requests.
+        visits_unprompted: Whether the crawler shows up on its own in a
+            passive measurement (vs. only when user-triggered).
+        forbidden_robots_means_disallow: How an obedient crawler reads a
+            403 on /robots.txt: True (the default, what production
+            crawlers do) treats it like RFC 9309's unreachable case and
+            stays out; False treats it as "no policy".
+    """
+
+    token: str
+    user_agent: str
+    behavior: RobotsBehavior = RobotsBehavior.FETCH_AND_OBEY
+    source_ip: str = ""
+    robots_cache_ttl: float = 0.0
+    intermittent_period: int = 5
+    buggy_robots_path: str = "/robots.txt/"
+    visits_unprompted: bool = True
+    forbidden_robots_means_disallow: bool = True
+    #: Whether the crawler honors the non-standard Crawl-delay
+    #: extension (Bing-style).  RFC-compliant crawlers ignore it.
+    honors_crawl_delay: bool = False
+    #: Whether the crawler seeds its frontier from sitemaps declared in
+    #: robots.txt (search-style crawlers do; most AI crawlers do not).
+    use_sitemaps: bool = False
+    #: Seconds between content fetches when no Crawl-delay applies.
+    default_fetch_interval: float = 0.0
+    #: Whether expired robots.txt cache entries are revalidated with
+    #: If-None-Match (a 304 keeps the cached policy without a refetch).
+    revalidates_robots: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.source_ip:
+            self.source_ip = crawler_ip(self.token)
+
+    @classmethod
+    def respectful(cls, token: str, user_agent: Optional[str] = None, **kwargs) -> "CrawlerProfile":
+        """A compliant crawler profile."""
+        return cls(
+            token=token,
+            user_agent=user_agent or f"{token}/1.0",
+            behavior=RobotsBehavior.FETCH_AND_OBEY,
+            **kwargs,
+        )
+
+    @classmethod
+    def defiant(cls, token: str, user_agent: Optional[str] = None, **kwargs) -> "CrawlerProfile":
+        """A crawler that fetches robots.txt but ignores it."""
+        return cls(
+            token=token,
+            user_agent=user_agent or f"{token}/1.0",
+            behavior=RobotsBehavior.FETCH_AND_IGNORE,
+            **kwargs,
+        )
+
+    @classmethod
+    def oblivious(cls, token: str, user_agent: Optional[str] = None, **kwargs) -> "CrawlerProfile":
+        """A crawler that never looks at robots.txt."""
+        return cls(
+            token=token,
+            user_agent=user_agent or f"{token}/1.0",
+            behavior=RobotsBehavior.NO_FETCH,
+            **kwargs,
+        )

@@ -1,0 +1,117 @@
+"""Training-data assembly with real-time ai.txt checks.
+
+Section 2.2 describes ai.txt's distinguishing property: it is read when
+an AI model attempts to *download media*, so owners can change
+permissions even for URLs collected long ago.  :class:`MediaHarvester`
+models that stage of the pipeline: given a URL list (e.g. produced by
+an earlier crawl), it re-consults each host's ai.txt at download time
+and only keeps the media the current policy permits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..core.aitxt import AITXT_PATH, AiTxtPolicy
+from ..net.errors import NetError
+from ..net.http import Headers, Request
+from ..net.transport import Network
+
+__all__ = ["HarvestItem", "HarvestReport", "MediaHarvester"]
+
+
+@dataclass(frozen=True)
+class HarvestItem:
+    """One media URL considered for training.
+
+    Attributes:
+        host: Source host.
+        path: Media path.
+        downloaded: Whether the harvester fetched it.
+        reason: Why it was kept or skipped.
+    """
+
+    host: str
+    path: str
+    downloaded: bool
+    reason: str
+
+
+@dataclass
+class HarvestReport:
+    """The outcome of one harvesting pass."""
+
+    items: List[HarvestItem] = field(default_factory=list)
+
+    @property
+    def downloaded(self) -> List[HarvestItem]:
+        return [i for i in self.items if i.downloaded]
+
+    @property
+    def skipped(self) -> List[HarvestItem]:
+        return [i for i in self.items if not i.downloaded]
+
+
+class MediaHarvester:
+    """Downloads media for training, honoring ai.txt in real time.
+
+    Args:
+        network: Transport to fetch over.
+        user_agent: UA presented for both ai.txt and media fetches.
+        respects_aitxt: When False the harvester models a trainer that
+            ignores the protocol entirely (its legal-enforceability
+            question is exactly the paper's point).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        user_agent: str = "repro-trainer/1.0",
+        respects_aitxt: bool = True,
+    ):
+        self.network = network
+        self.user_agent = user_agent
+        self.respects_aitxt = respects_aitxt
+
+    def _fetch(self, host: str, path: str):
+        return self.network.request(
+            Request(host=host, path=path, headers=Headers({"User-Agent": self.user_agent}))
+        )
+
+    def _load_aitxt(self, host: str) -> Optional[AiTxtPolicy]:
+        """Fetch ai.txt fresh -- the protocol's real-time property."""
+        try:
+            response = self._fetch(host, AITXT_PATH)
+        except NetError:
+            return None
+        if response.status != 200:
+            return None
+        return AiTxtPolicy(response.text)
+
+    def harvest(self, urls: List[Tuple[str, str]]) -> HarvestReport:
+        """Attempt to download each ``(host, path)`` for training."""
+        report = HarvestReport()
+        for host, path in urls:
+            if self.respects_aitxt:
+                policy = self._load_aitxt(host)
+                if policy is not None and not policy.may_train(path):
+                    report.items.append(
+                        HarvestItem(host, path, False, "ai.txt disallows training use")
+                    )
+                    continue
+            try:
+                response = self._fetch(host, path)
+            except NetError as exc:
+                report.items.append(HarvestItem(host, path, False, str(exc)))
+                continue
+            if response.status != 200:
+                report.items.append(
+                    HarvestItem(host, path, False, f"HTTP {response.status}")
+                )
+                continue
+            reason = "no ai.txt served" if self.respects_aitxt else "protocol ignored"
+            if self.respects_aitxt and self._load_aitxt(host) is not None:
+                reason = "ai.txt permits training use"
+            report.items.append(HarvestItem(host, path, True, reason))
+        return report

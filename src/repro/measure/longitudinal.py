@@ -1,0 +1,277 @@
+"""Section 3: longitudinal robots.txt analysis over snapshots.
+
+Pipeline: take a web population, run the Common-Crawl-style snapshotter
+over the 15 snapshot specs, filter to the Stable-with-robots set (the
+paper's "Stable Top 100K": ranked every month *and* a robots.txt in
+every snapshot), then compute the statistics behind Figures 2-4 and
+Tables 3-4:
+
+* per-snapshot % of sites fully disallowing >= 1 AI user agent, split
+  by Top-5K tier (Figure 2),
+* per-snapshot per-agent % partially-or-fully disallowing (Figure 3),
+* explicit-allow counts and restriction removals per period (Figure 4),
+* domains explicitly allowing GPTBot with first-allow snapshot
+  (Table 4),
+* snapshot coverage statistics (Table 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..agents.darkvisitors import AI_USER_AGENT_TOKENS
+from ..core.classify import (
+    RestrictionLevel,
+    classify,
+    explicitly_allows,
+    fully_disallows_any,
+)
+from ..core.policy import RobotsPolicy
+from ..crawlers.commoncrawl import (
+    SNAPSHOT_SPECS,
+    Snapshot,
+    SnapshotCrawler,
+    SnapshotSpec,
+)
+from ..net.transport import Network
+from ..web.population import WebPopulation
+
+__all__ = [
+    "SnapshotSeries",
+    "collect_snapshots",
+    "stable_with_robots",
+    "full_disallow_trend",
+    "per_agent_trend",
+    "allow_and_removal_trend",
+    "first_allow_table",
+    "snapshot_coverage_table",
+]
+
+#: Agents plotted individually in Figure 3.
+FIGURE3_AGENTS = [
+    "GPTBot",
+    "CCBot",
+    "ChatGPT-User",
+    "anthropic-ai",
+    "Google-Extended",
+    "Bytespider",
+    "ClaudeBot",
+    "PerplexityBot",
+]
+
+
+@dataclass
+class SnapshotSeries:
+    """All snapshots for a population plus derived site sets.
+
+    Attributes:
+        snapshots: One :class:`Snapshot` per spec, in time order.
+        stable_domains: Domains of the population's stable set.
+        analysis_domains: Stable domains with a robots.txt in *every*
+            snapshot -- the paper's Stable Top 100K analogue.
+    """
+
+    snapshots: List[Snapshot]
+    stable_domains: List[str]
+    analysis_domains: List[str]
+
+    def robots_for(self, domain: str, snapshot: Snapshot) -> Optional[str]:
+        """robots.txt content for *domain* in *snapshot* (www fallback)."""
+        record = snapshot.record_for(domain)
+        if record is None or not record.ok:
+            return None
+        return record.robots_txt
+
+
+def collect_snapshots(
+    population: WebPopulation,
+    specs: Sequence[SnapshotSpec] = tuple(SNAPSHOT_SPECS),
+) -> SnapshotSeries:
+    """Run the snapshot crawler over the population's stable set.
+
+    Each snapshot materializes the population at the snapshot's month
+    and crawls every stable site's robots.txt with the CCBot client.
+    """
+    domains = [site.domain for site in population.stable]
+    snapshots: List[Snapshot] = []
+    for spec in specs:
+        network = Network()
+        population.materialize(network, month=spec.month_index)
+        crawler = SnapshotCrawler(network)
+        snapshots.append(crawler.snapshot(spec, domains))
+    analysis = stable_with_robots(snapshots, domains)
+    return SnapshotSeries(
+        snapshots=snapshots, stable_domains=domains, analysis_domains=analysis
+    )
+
+
+def stable_with_robots(
+    snapshots: Sequence[Snapshot], domains: Sequence[str]
+) -> List[str]:
+    """Domains with a successfully fetched robots.txt in every snapshot."""
+    keep: List[str] = []
+    for domain in domains:
+        ok_everywhere = True
+        for snapshot in snapshots:
+            record = snapshot.record_for(domain)
+            if record is None or not record.ok:
+                ok_everywhere = False
+                break
+        if ok_everywhere:
+            keep.append(domain)
+    return keep
+
+
+def full_disallow_trend(
+    series: SnapshotSeries,
+    top5k_domains: Set[str],
+    agents: Sequence[str] = tuple(AI_USER_AGENT_TOKENS),
+    require_explicit: bool = True,
+) -> List[Tuple[str, float, float]]:
+    """Figure 2: % of sites fully disallowing >= 1 AI UA per snapshot.
+
+    Returns rows ``(snapshot_id, pct_top5k, pct_other)`` in time order,
+    percentages in [0, 100].
+    """
+    top = [d for d in series.analysis_domains if d in top5k_domains]
+    other = [d for d in series.analysis_domains if d not in top5k_domains]
+    rows: List[Tuple[str, float, float]] = []
+    for snapshot in series.snapshots:
+        def rate(domains: List[str]) -> float:
+            if not domains:
+                return 0.0
+            hits = 0
+            for domain in domains:
+                text = series.robots_for(domain, snapshot)
+                if text is not None and fully_disallows_any(
+                    text, agents, require_explicit=require_explicit
+                ):
+                    hits += 1
+            return 100.0 * hits / len(domains)
+
+        rows.append((snapshot.spec.snapshot_id, rate(top), rate(other)))
+    return rows
+
+
+def per_agent_trend(
+    series: SnapshotSeries,
+    agents: Sequence[str] = tuple(FIGURE3_AGENTS),
+) -> Dict[str, List[Tuple[str, float]]]:
+    """Figure 3: per-agent % of sites partially or fully disallowing.
+
+    Returns, per agent, rows ``(snapshot_id, pct)`` over the analysis
+    set.
+    """
+    out: Dict[str, List[Tuple[str, float]]] = {agent: [] for agent in agents}
+    population = series.analysis_domains
+    for snapshot in series.snapshots:
+        policies: List[Optional[RobotsPolicy]] = []
+        for domain in population:
+            text = series.robots_for(domain, snapshot)
+            policies.append(RobotsPolicy(text) if text is not None else None)
+        for agent in agents:
+            hits = 0
+            for policy in policies:
+                if policy is None:
+                    continue
+                if classify(policy, agent).level.disallows:
+                    hits += 1
+            pct = 100.0 * hits / len(population) if population else 0.0
+            out[agent].append((snapshot.spec.snapshot_id, pct))
+    return out
+
+
+@dataclass
+class AllowRemovalTrend:
+    """Figure 4's two series plus per-domain detail.
+
+    Attributes:
+        explicit_allow_counts: ``(snapshot_id, count)`` of sites
+            explicitly allowing >= 1 AI agent.
+        removals_per_period: ``(snapshot_id, count)`` of sites that had
+            an explicit full restriction on an agent in the previous
+            snapshot and no restriction in this one.
+        removal_domains: Domains that removed restrictions, with the
+            snapshot where the removal was first observed.
+    """
+
+    explicit_allow_counts: List[Tuple[str, int]] = field(default_factory=list)
+    removals_per_period: List[Tuple[str, int]] = field(default_factory=list)
+    removal_domains: Dict[str, str] = field(default_factory=dict)
+
+
+def allow_and_removal_trend(
+    series: SnapshotSeries,
+    agents: Sequence[str] = tuple(AI_USER_AGENT_TOKENS),
+    removal_agent: str = "GPTBot",
+) -> AllowRemovalTrend:
+    """Figure 4: explicit allows over time and removals per period."""
+    trend = AllowRemovalTrend()
+    previous_restricted: Set[str] = set()
+    first = True
+    for snapshot in series.snapshots:
+        allows = 0
+        restricted_now: Set[str] = set()
+        removed_now = 0
+        for domain in series.analysis_domains:
+            text = series.robots_for(domain, snapshot)
+            if text is None:
+                continue
+            policy = RobotsPolicy(text)
+            if any(explicitly_allows(policy, agent) for agent in agents):
+                allows += 1
+            level = classify(policy, removal_agent).level
+            if level is RestrictionLevel.FULL:
+                restricted_now.add(domain)
+        if not first:
+            for domain in previous_restricted - restricted_now:
+                removed_now += 1
+                trend.removal_domains.setdefault(domain, snapshot.spec.snapshot_id)
+        trend.explicit_allow_counts.append((snapshot.spec.snapshot_id, allows))
+        trend.removals_per_period.append(
+            (snapshot.spec.snapshot_id, 0 if first else removed_now)
+        )
+        previous_restricted = restricted_now
+        first = False
+    return trend
+
+
+def first_allow_table(
+    series: SnapshotSeries, agent: str = "GPTBot"
+) -> List[Tuple[str, str]]:
+    """Table 4: domains explicitly allowing *agent*, with the first
+    snapshot where the allow was observed."""
+    rows: List[Tuple[str, str]] = []
+    seen: Set[str] = set()
+    for snapshot in series.snapshots:
+        for domain in series.analysis_domains:
+            if domain in seen:
+                continue
+            text = series.robots_for(domain, snapshot)
+            if text is not None and explicitly_allows(text, agent):
+                rows.append((domain, snapshot.spec.snapshot_id))
+                seen.add(domain)
+    return rows
+
+
+def snapshot_coverage_table(series: SnapshotSeries) -> List[Tuple[str, str, int, int]]:
+    """Table 3: per snapshot, sites present and sites with robots.txt.
+
+    Returns rows ``(snapshot_id, label, n_sites, n_with_robots)``.
+    """
+    rows = []
+    for snapshot in series.snapshots:
+        n_sites = sum(
+            1
+            for domain in series.stable_domains
+            if (record := snapshot.record_for(domain)) is not None
+            and (record.ok or record.missing)
+        )
+        n_robots = sum(
+            1
+            for domain in series.stable_domains
+            if (record := snapshot.record_for(domain)) is not None and record.ok
+        )
+        rows.append((snapshot.spec.snapshot_id, snapshot.spec.label, n_sites, n_robots))
+    return rows

@@ -1,0 +1,67 @@
+"""HTTP substrate: messages, in-memory network, clients, DNS, logs.
+
+The substrate has two interchangeable transports:
+
+* the in-memory :class:`Network`, used for population-scale sweeps, and
+* :class:`RealHttpServer` / :func:`fetch_real`, which expose the same
+  handlers over genuine localhost TCP for integration tests.
+"""
+
+from .accesslog import AccessLog, LogEntry, format_clf, parse_clf_line
+from .client import HttpClient
+from .dns import DnsZone, ProviderInfra, Resolution
+from .errors import (
+    ConnectionRefused,
+    ConnectionReset,
+    DNSFailure,
+    NetError,
+    RobotsDisallowed,
+    TooManyRedirects,
+)
+from .http import Headers, Request, Response, split_url
+from .realserver import NetworkHandler, RealHttpServer, RemoteNetwork, fetch_real
+from .server import Page, Website, extract_links, render_page
+from .sitemap import SitemapEntry, discover_sitemap_urls, parse_sitemap, render_sitemap, render_sitemap_index
+from .warc import WarcRecord, parse_warc, render_warc, snapshot_to_warc, warc_to_records
+from .transport import Handler, Network
+
+__all__ = [
+    "AccessLog",
+    "LogEntry",
+    "format_clf",
+    "parse_clf_line",
+    "HttpClient",
+    "DnsZone",
+    "ProviderInfra",
+    "Resolution",
+    "ConnectionRefused",
+    "ConnectionReset",
+    "DNSFailure",
+    "NetError",
+    "RobotsDisallowed",
+    "TooManyRedirects",
+    "Headers",
+    "Request",
+    "Response",
+    "split_url",
+    "NetworkHandler",
+    "RealHttpServer",
+    "RemoteNetwork",
+    "fetch_real",
+    "Page",
+    "Website",
+    "extract_links",
+    "render_page",
+    "Handler",
+    "Network",
+    "SitemapEntry",
+    "discover_sitemap_urls",
+    "parse_sitemap",
+    "render_sitemap",
+    "render_sitemap_index",
+    "WarcRecord",
+    "parse_warc",
+    "render_warc",
+    "snapshot_to_warc",
+    "warc_to_records",
+]

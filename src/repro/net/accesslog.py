@@ -1,0 +1,172 @@
+"""Server access logs.
+
+The Section 5 testbed decides crawler compliance entirely from server
+logs: which user agents arrived, from which IPs, whether robots.txt was
+fetched before content, and which paths were retrieved.  This module
+provides the log record, an appendable log with the query helpers that
+analysis needs, and Combined-Log-Format rendering/parsing so logs can be
+round-tripped through files like real web-server logs.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional
+
+__all__ = ["LogEntry", "AccessLog", "format_clf", "parse_clf_line"]
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One logged request.
+
+    Attributes:
+        timestamp: Simulation time (seconds since epoch-of-run; the unit
+            only needs to be monotonic and comparable).
+        client_ip: Source address.
+        method: HTTP method.
+        path: Request path including query.
+        status: Response status sent.
+        body_bytes: Response body size.
+        user_agent: The request's User-Agent header.
+        host: The virtual host that served the request.
+    """
+
+    timestamp: float
+    client_ip: str
+    method: str
+    path: str
+    status: int
+    body_bytes: int
+    user_agent: str
+    host: str = ""
+
+    @property
+    def is_robots_fetch(self) -> bool:
+        """Whether this entry is a robots.txt retrieval."""
+        return self.path.split("?", 1)[0] == "/robots.txt"
+
+
+class AccessLog:
+    """An append-only request log with the queries analysis needs."""
+
+    def __init__(self) -> None:
+        self._entries: List[LogEntry] = []
+
+    def append(self, entry: LogEntry) -> None:
+        """Record one request."""
+        self._entries.append(entry)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[LogEntry]:
+        return iter(self._entries)
+
+    def clear(self) -> None:
+        """Drop all entries."""
+        self._entries.clear()
+
+    def entries(
+        self,
+        user_agent_contains: Optional[str] = None,
+        path: Optional[str] = None,
+        predicate: Optional[Callable[[LogEntry], bool]] = None,
+    ) -> List[LogEntry]:
+        """Entries filtered by substring-of-UA, exact path, and predicate."""
+        out = []
+        for entry in self._entries:
+            if user_agent_contains is not None and (
+                user_agent_contains.lower() not in entry.user_agent.lower()
+            ):
+                continue
+            if path is not None and entry.path.split("?", 1)[0] != path:
+                continue
+            if predicate is not None and not predicate(entry):
+                continue
+            out.append(entry)
+        return out
+
+    def user_agents_seen(self) -> List[str]:
+        """Distinct user agents in arrival order."""
+        seen: List[str] = []
+        for entry in self._entries:
+            if entry.user_agent not in seen:
+                seen.append(entry.user_agent)
+        return seen
+
+    def fetched_robots(self, user_agent_contains: str) -> bool:
+        """Whether any request matching the UA fetched /robots.txt."""
+        return any(
+            e.is_robots_fetch
+            for e in self.entries(user_agent_contains=user_agent_contains)
+        )
+
+    def fetched_content(self, user_agent_contains: str) -> bool:
+        """Whether any request matching the UA fetched a non-robots path."""
+        return any(
+            not e.is_robots_fetch
+            for e in self.entries(user_agent_contains=user_agent_contains)
+        )
+
+    def content_paths(self, user_agent_contains: str) -> List[str]:
+        """Non-robots paths fetched by requests matching the UA."""
+        return [
+            e.path
+            for e in self.entries(user_agent_contains=user_agent_contains)
+            if not e.is_robots_fetch
+        ]
+
+    def ips_for(self, user_agent_contains: str) -> List[str]:
+        """Distinct client IPs for a UA, in arrival order."""
+        seen: List[str] = []
+        for entry in self.entries(user_agent_contains=user_agent_contains):
+            if entry.client_ip not in seen:
+                seen.append(entry.client_ip)
+        return seen
+
+
+def format_clf(entry: LogEntry) -> str:
+    """Render an entry in Combined Log Format (fixed dummy date fields).
+
+    >>> line = format_clf(LogEntry(0, "1.2.3.4", "GET", "/", 200, 5, "bot"))
+    >>> line.startswith('1.2.3.4 - - [')
+    True
+    """
+    return (
+        f'{entry.client_ip} - - [{int(entry.timestamp)}] '
+        f'"{entry.method} {entry.path} HTTP/1.1" {entry.status} '
+        f'{entry.body_bytes} "-" "{entry.user_agent}"'
+    )
+
+
+_CLF_RE = re.compile(
+    r'^(?P<ip>\S+) \S+ \S+ \[(?P<ts>[^\]]*)\] '
+    r'"(?P<method>\S+) (?P<path>\S+) [^"]*" (?P<status>\d+) '
+    r'(?P<bytes>\d+|-) "[^"]*" "(?P<ua>[^"]*)"$'
+)
+
+
+def parse_clf_line(line: str) -> Optional[LogEntry]:
+    """Parse a Combined-Log-Format line back into a :class:`LogEntry`.
+
+    Returns None for lines that do not match the format.
+    """
+    match = _CLF_RE.match(line.strip())
+    if not match:
+        return None
+    try:
+        timestamp = float(match.group("ts"))
+    except ValueError:
+        timestamp = 0.0
+    size = match.group("bytes")
+    return LogEntry(
+        timestamp=timestamp,
+        client_ip=match.group("ip"),
+        method=match.group("method"),
+        path=match.group("path"),
+        status=int(match.group("status")),
+        body_bytes=0 if size == "-" else int(size),
+        user_agent=match.group("ua"),
+    )

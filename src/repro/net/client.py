@@ -1,0 +1,110 @@
+"""HTTP client over the in-memory network.
+
+:class:`HttpClient` is the fetch primitive every crawler and measurement
+tool in this project uses: it carries a user agent and a source IP,
+optionally follows redirects, and returns the final
+:class:`~repro.net.http.Response`.  Behavioral knobs mirror the clients
+the paper describes -- Common Crawl's snapshotter does *not* follow
+redirects (Appendix B.1), while the Selenium-style control client does.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .errors import ConnectionRefused, ConnectionReset, TooManyRedirects
+from .http import Headers, Request, Response, split_url
+from .transport import Network
+
+__all__ = ["HttpClient"]
+
+
+class HttpClient:
+    """A simple, configurable HTTP client.
+
+    Args:
+        network: The in-memory network to send requests through.
+        user_agent: Default ``User-Agent`` header.
+        client_ip: Source IP presented to servers.
+        follow_redirects: Whether :meth:`get` chases 3xx responses.
+        max_redirects: Redirect budget before raising.
+
+    >>> # doctest setup elided; see tests/net/test_client.py
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        user_agent: str = "repro-client/1.0",
+        client_ip: str = "198.51.100.1",
+        follow_redirects: bool = True,
+        max_redirects: int = 5,
+        retries: int = 0,
+    ):
+        self.network = network
+        self.user_agent = user_agent
+        self.client_ip = client_ip
+        self.follow_redirects = follow_redirects
+        self.max_redirects = max_redirects
+        #: Transient-failure retries per request (connection resets and
+        #: refusals; DNS failures are permanent and never retried).
+        self.retries = retries
+
+    def _build_request(
+        self, url: str, method: str, user_agent: Optional[str]
+    ) -> Request:
+        scheme, host, path = split_url(url)
+        return Request(
+            host=host,
+            path=path,
+            method=method,
+            headers=Headers({"User-Agent": user_agent or self.user_agent}),
+            client_ip=self.client_ip,
+            scheme=scheme,
+        )
+
+    def get(self, url: str, user_agent: Optional[str] = None) -> Response:
+        """GET *url*, following redirects per configuration.
+
+        Raises:
+            NetError: On DNS failure, injected transport failures, or
+                redirect-budget exhaustion.
+        """
+        return self._fetch(url, "GET", user_agent)
+
+    def head(self, url: str, user_agent: Optional[str] = None) -> Response:
+        """HEAD *url* (no redirect following beyond the GET rules)."""
+        return self._fetch(url, "HEAD", user_agent)
+
+    def _send(self, request: Request) -> Response:
+        attempts = 0
+        while True:
+            try:
+                return self.network.request(request)
+            except (ConnectionRefused, ConnectionReset):
+                attempts += 1
+                if attempts > self.retries:
+                    raise
+
+    def _fetch(self, url: str, method: str, user_agent: Optional[str]) -> Response:
+        seen = 0
+        current = url
+        while True:
+            request = self._build_request(current, method, user_agent)
+            response = self._send(request)
+            if not (self.follow_redirects and response.is_redirect):
+                if not response.url:
+                    response.url = request.url
+                return response
+            seen += 1
+            if seen > self.max_redirects:
+                raise TooManyRedirects(url, self.max_redirects)
+            location = response.headers["Location"]
+            if location.startswith("/"):
+                current = f"{request.scheme}://{request.host}{location}"
+            else:
+                current = location
+
+    def get_robots_txt(self, host: str, user_agent: Optional[str] = None) -> Response:
+        """Fetch ``https://host/robots.txt``."""
+        return self.get(f"https://{host}/robots.txt", user_agent=user_agent)

@@ -1,0 +1,68 @@
+"""Exception hierarchy for the network substrate.
+
+The Section 6 methodology treats "any exceptions that occur" as a
+blocking signal alongside status codes and content length, so transport
+failures are first-class observable outcomes here, not incidental bugs.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "NetError",
+    "DNSFailure",
+    "ConnectionRefused",
+    "ConnectionReset",
+    "TooManyRedirects",
+    "RobotsDisallowed",
+]
+
+
+class NetError(Exception):
+    """Base class for all transport-level failures."""
+
+
+class DNSFailure(NetError):
+    """The hostname does not resolve."""
+
+    def __init__(self, host: str):
+        super().__init__(f"cannot resolve host: {host}")
+        self.host = host
+
+
+class ConnectionRefused(NetError):
+    """The server refused the TCP connection."""
+
+    def __init__(self, host: str):
+        super().__init__(f"connection refused by {host}")
+        self.host = host
+
+
+class ConnectionReset(NetError):
+    """The server reset the connection mid-exchange.
+
+    Some anti-bot deployments drop automation traffic at the TCP level
+    instead of returning an HTTP error; this is the exception the
+    active-blocking detector observes in that case.
+    """
+
+    def __init__(self, host: str):
+        super().__init__(f"connection reset by {host}")
+        self.host = host
+
+
+class TooManyRedirects(NetError):
+    """The client exceeded its redirect budget."""
+
+    def __init__(self, url: str, limit: int):
+        super().__init__(f"more than {limit} redirects fetching {url}")
+        self.url = url
+        self.limit = limit
+
+
+class RobotsDisallowed(NetError):
+    """A polite client refused to fetch a URL its robots policy forbids."""
+
+    def __init__(self, url: str, user_agent: str):
+        super().__init__(f"robots.txt disallows {user_agent} fetching {url}")
+        self.url = url
+        self.user_agent = user_agent

@@ -1,0 +1,217 @@
+"""Serve simulated websites over real TCP sockets.
+
+The paper's Section 5 testbed is two real websites on a cloud host with
+request logging.  For integration-level fidelity, this module exposes
+any in-memory :class:`~repro.net.transport.Handler` (a website or a
+reverse proxy stack) on a localhost socket using the standard library's
+threading HTTP server, plus a matching blocking client built on
+``http.client``.  The compliance experiment's integration tests run the
+crawler fleet over genuine TCP through this bridge; the large sweeps use
+the in-memory transport with identical semantics.
+"""
+
+from __future__ import annotations
+
+import http.client
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from .http import Headers, Request, Response
+from .transport import Handler
+
+__all__ = ["RealHttpServer", "fetch_real"]
+
+
+class RealHttpServer:
+    """Expose a handler on a localhost TCP port.
+
+    Use as a context manager::
+
+        with RealHttpServer(site) as server:
+            response = fetch_real(f"http://{server.address}/robots.txt")
+
+    The ``Host`` header (minus port) is used as the virtual-host routing
+    key, falling back to the handler's own host, so a single socket can
+    front a multi-host handler such as a Network adapter.
+    """
+
+    def __init__(self, handler: Handler, host: str = "127.0.0.1", port: int = 0):
+        self._handler = handler
+        self._default_host = getattr(handler, "host", "")
+        outer = self
+
+        class _RequestBridge(BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+
+            def _serve(self, method: str) -> None:
+                host_header = self.headers.get("Host", "")
+                vhost = host_header.split(":", 1)[0] or outer._default_host
+                # Standard proxy convention: an X-Forwarded-For header
+                # carries the original client address across the bridge
+                # (the RemoteNetwork client uses it so IP-sensitive
+                # handlers behave identically over TCP).
+                client_ip = (
+                    self.headers.get("X-Forwarded-For")
+                    or self.client_address[0]
+                ).split(",")[0].strip()
+                passthrough = {}
+                for name in ("User-Agent", "X-Automation"):
+                    value = self.headers.get(name)
+                    if value is not None:
+                        passthrough[name] = value
+                request = Request(
+                    host=vhost,
+                    path=self.path,
+                    method=method,
+                    headers=Headers(passthrough),
+                    client_ip=client_ip,
+                    scheme="http",
+                )
+                try:
+                    response = outer._handler.handle(request)
+                except Exception:  # noqa: BLE001 - surface as 500 like a real server
+                    self.send_error(500)
+                    return
+                assert isinstance(response.body, bytes)
+                self.send_response(response.status)
+                sent_type = False
+                for name, value in response.headers:
+                    self.send_header(name, value)
+                    if name.lower() == "content-type":
+                        sent_type = True
+                if not sent_type:
+                    self.send_header("Content-Type", "text/html; charset=utf-8")
+                self.send_header("Content-Length", str(len(response.body)))
+                self.end_headers()
+                if method != "HEAD":
+                    self.wfile.write(response.body)
+
+            def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+                self._serve("GET")
+
+            def do_HEAD(self) -> None:  # noqa: N802 - stdlib naming
+                self._serve("HEAD")
+
+            def log_message(self, *args) -> None:  # silence stderr
+                pass
+
+        self._server = ThreadingHTTPServer((host, port), _RequestBridge)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> str:
+        """``host:port`` the server listens on."""
+        host, port = self._server.server_address[:2]
+        return f"{host}:{port}"
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port."""
+        return self._server.server_address[1]
+
+    def start(self) -> "RealHttpServer":
+        """Start serving on a background thread."""
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="repro-http", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop serving and release the socket."""
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "RealHttpServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def fetch_real(
+    url: str,
+    user_agent: str = "repro-client/1.0",
+    host_header: Optional[str] = None,
+    timeout: float = 10.0,
+    extra_headers: Optional[dict] = None,
+) -> Response:
+    """Fetch *url* over real TCP with ``http.client``.
+
+    Args:
+        host_header: Override the ``Host`` header, enabling virtual-host
+            selection while connecting to a localhost socket.
+        extra_headers: Additional request headers to send.
+    """
+    scheme_rest = url.split("://", 1)
+    rest = scheme_rest[1] if len(scheme_rest) == 2 else scheme_rest[0]
+    netloc, _, path = rest.partition("/")
+    path = "/" + path
+    conn = http.client.HTTPConnection(netloc, timeout=timeout)
+    try:
+        headers = {"User-Agent": user_agent, "Connection": "close"}
+        if host_header:
+            headers["Host"] = host_header
+        if extra_headers:
+            headers.update(extra_headers)
+        conn.request("GET", path, headers=headers)
+        raw = conn.getresponse()
+        body = raw.read()
+        return Response(
+            status=raw.status,
+            body=body,
+            headers=Headers({k: v for k, v in raw.getheaders()}),
+            url=url,
+        )
+    finally:
+        conn.close()
+
+
+class NetworkHandler:
+    """Adapter exposing a whole :class:`Network` as one Handler.
+
+    Lets :class:`RealHttpServer` front an entire simulated internet on
+    a single socket; virtual hosts are selected by the ``Host`` header.
+    """
+
+    def __init__(self, network):
+        self._network = network
+        self.host = ""
+        self.now = 0.0
+
+    def handle(self, request: Request) -> Response:
+        self._network.now = self.now
+        return self._network.request(request)
+
+
+class RemoteNetwork:
+    """A Network-compatible transport that sends requests over TCP.
+
+    Point it at a :class:`RealHttpServer` fronting a
+    :class:`NetworkHandler` and any crawler or measurement pipeline
+    built against the in-memory :class:`~repro.net.transport.Network`
+    runs unchanged over genuine sockets -- the transport-equivalence
+    property the integration tests verify.
+    """
+
+    def __init__(self, address: str):
+        self.address = address
+        self.now: float = 0.0
+
+    def request(self, request: Request) -> Response:
+        extra = {"X-Forwarded-For": request.client_ip}
+        automation = request.headers.get("X-Automation")
+        if automation is not None:
+            extra["X-Automation"] = automation
+        response = fetch_real(
+            f"http://{self.address}{request.path}",
+            user_agent=request.user_agent,
+            host_header=request.host,
+            extra_headers=extra,
+        )
+        response.url = request.url
+        return response

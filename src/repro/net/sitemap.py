@@ -1,0 +1,152 @@
+"""Sitemaps: generation, parsing, and crawler-side discovery.
+
+robots.txt files commonly declare sitemaps (Section 2.2 notes the
+protocol "can also include sitemaps -- URL lists for indexing"), and
+real crawlers use them as a discovery channel alongside link-following.
+This module implements the XML format (urlset and sitemap-index
+flavors), a tolerant parser, and helpers the crawl engine uses to seed
+its frontier from a site's declared sitemaps.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+from .errors import NetError
+from .http import Headers, Request, split_url
+from .transport import Network
+
+__all__ = [
+    "SitemapEntry",
+    "render_sitemap",
+    "render_sitemap_index",
+    "parse_sitemap",
+    "discover_sitemap_urls",
+]
+
+_LOC_RE = re.compile(r"<loc>\s*([^<]+?)\s*</loc>")
+_SITEMAP_INDEX_RE = re.compile(r"<\s*sitemapindex[\s>]", re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class SitemapEntry:
+    """One URL record in a sitemap.
+
+    Attributes:
+        loc: Absolute URL.
+        lastmod: Optional ISO date string.
+        priority: Optional priority in [0, 1].
+    """
+
+    loc: str
+    lastmod: Optional[str] = None
+    priority: Optional[float] = None
+
+
+def render_sitemap(entries: Iterable[SitemapEntry]) -> str:
+    """Render a ``<urlset>`` sitemap document.
+
+    >>> xml = render_sitemap([SitemapEntry("https://e.com/")])
+    >>> "<urlset" in xml and "https://e.com/" in xml
+    True
+    """
+    lines = [
+        '<?xml version="1.0" encoding="UTF-8"?>',
+        '<urlset xmlns="http://www.sitemaps.org/schemas/sitemap/0.9">',
+    ]
+    for entry in entries:
+        lines.append("  <url>")
+        lines.append(f"    <loc>{entry.loc}</loc>")
+        if entry.lastmod:
+            lines.append(f"    <lastmod>{entry.lastmod}</lastmod>")
+        if entry.priority is not None:
+            lines.append(f"    <priority>{entry.priority:.1f}</priority>")
+        lines.append("  </url>")
+    lines.append("</urlset>")
+    return "\n".join(lines) + "\n"
+
+
+def render_sitemap_index(sitemap_urls: Iterable[str]) -> str:
+    """Render a ``<sitemapindex>`` document pointing at child sitemaps."""
+    lines = [
+        '<?xml version="1.0" encoding="UTF-8"?>',
+        '<sitemapindex xmlns="http://www.sitemaps.org/schemas/sitemap/0.9">',
+    ]
+    for url in sitemap_urls:
+        lines.append("  <sitemap>")
+        lines.append(f"    <loc>{url}</loc>")
+        lines.append("  </sitemap>")
+    lines.append("</sitemapindex>")
+    return "\n".join(lines) + "\n"
+
+
+@dataclass
+class ParsedSitemap:
+    """Parse result: either URL entries or child sitemap locations."""
+
+    is_index: bool
+    urls: List[str] = field(default_factory=list)
+
+
+def parse_sitemap(xml: str) -> ParsedSitemap:
+    """Parse a sitemap or sitemap-index document (regex-tolerant).
+
+    Real-world sitemaps are frequently malformed; like production
+    crawlers, the parser extracts every ``<loc>`` it can find rather
+    than validating the XML.
+    """
+    is_index = bool(_SITEMAP_INDEX_RE.search(xml))
+    return ParsedSitemap(is_index=is_index, urls=_LOC_RE.findall(xml))
+
+
+def discover_sitemap_urls(
+    network: Network,
+    host: str,
+    sitemap_urls: Sequence[str],
+    user_agent: str = "repro-crawler/1.0",
+    max_documents: int = 10,
+    max_urls: int = 500,
+) -> List[str]:
+    """Resolve declared sitemaps (following index files) into page paths.
+
+    Only paths on *host* are returned (a sitemap may list foreign URLs;
+    polite crawlers ignore them for the current host's frontier).
+    """
+    paths: List[str] = []
+    queue = list(sitemap_urls)
+    fetched = 0
+    seen_docs = set()
+    while queue and fetched < max_documents and len(paths) < max_urls:
+        url = queue.pop(0)
+        if url in seen_docs:
+            continue
+        seen_docs.add(url)
+        _, doc_host, doc_path = split_url(url)
+        if doc_host and doc_host.lower() != host.lower():
+            continue
+        try:
+            response = network.request(
+                Request(
+                    host=host,
+                    path=doc_path,
+                    headers=Headers({"User-Agent": user_agent}),
+                )
+            )
+        except NetError:
+            continue
+        fetched += 1
+        if response.status != 200:
+            continue
+        parsed = parse_sitemap(response.text)
+        if parsed.is_index:
+            queue.extend(parsed.urls)
+            continue
+        for loc in parsed.urls:
+            _, loc_host, loc_path = split_url(loc)
+            if loc_host and loc_host.lower() != host.lower():
+                continue
+            if loc_path not in paths:
+                paths.append(loc_path)
+    return paths[:max_urls]

@@ -1,0 +1,131 @@
+"""The in-memory network: hostname routing and failure injection.
+
+A :class:`Network` is the simulated Internet: handlers (origin websites
+or reverse proxies) register under hostnames, clients submit
+:class:`~repro.net.http.Request` objects, and the network returns the
+handler's response or raises the transport error configured for that
+host.  Everything is synchronous and deterministic; at the scale of the
+paper's sweeps (tens of thousands of sites) a full experiment runs in
+seconds.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, Optional, Protocol
+
+from .errors import ConnectionRefused, ConnectionReset, DNSFailure
+from .http import Request, Response
+
+__all__ = ["Handler", "Network"]
+
+
+class Handler(Protocol):
+    """Anything that can answer an HTTP request for a hostname."""
+
+    def handle(self, request: Request) -> Response:  # pragma: no cover
+        """Serve one request."""
+        ...
+
+
+class Network:
+    """Hostname-to-handler routing with failure injection.
+
+    >>> from repro.net.server import Website
+    >>> net = Network()
+    >>> site = Website("example.com")
+    >>> site.add_page("/", "<p>hi</p>")
+    >>> net.register(site)
+    >>> net.request(Request(host="example.com")).status
+    200
+    """
+
+    def __init__(self) -> None:
+        self._handlers: Dict[str, Handler] = {}
+        self._failures: Dict[str, Callable[[Request], Exception]] = {}
+        self.now: float = 0.0
+
+    # -- topology -----------------------------------------------------------
+
+    def register(self, handler: Handler, host: Optional[str] = None) -> None:
+        """Register *handler* under *host* (default: ``handler.host``)."""
+        if host is None:
+            host = getattr(handler, "host", None)
+            if host is None:
+                raise ValueError("handler has no .host; pass host explicitly")
+        self._handlers[host.lower()] = handler
+
+    def unregister(self, host: str) -> None:
+        """Remove the handler for *host* (missing hosts are a no-op)."""
+        self._handlers.pop(host.lower(), None)
+
+    def handler_for(self, host: str) -> Optional[Handler]:
+        """The registered handler for *host*, or None."""
+        return self._handlers.get(host.lower())
+
+    def hosts(self) -> Iterator[str]:
+        """All registered hostnames."""
+        return iter(self._handlers)
+
+    def __contains__(self, host: str) -> bool:
+        return host.lower() in self._handlers
+
+    # -- failure injection --------------------------------------------------
+
+    def inject_failure(
+        self, host: str, factory: Callable[[Request], Exception]
+    ) -> None:
+        """Make every request to *host* raise ``factory(request)``.
+
+        Used to model sites that drop automation traffic at the TCP
+        level, flaky origins, and the like.
+        """
+        self._failures[host.lower()] = factory
+
+    def refuse_connections(self, host: str) -> None:
+        """Convenience: make *host* refuse all connections."""
+        self.inject_failure(host, lambda req: ConnectionRefused(req.host))
+
+    def reset_connections(self, host: str) -> None:
+        """Convenience: make *host* reset all connections."""
+        self.inject_failure(host, lambda req: ConnectionReset(req.host))
+
+    def inject_flaky(self, host: str, failures: int) -> None:
+        """Make the next *failures* requests to *host* reset, then heal.
+
+        Models transient overload: exactly the situation client retry
+        policies exist for.
+        """
+        remaining = {"n": failures}
+
+        def factory(request: Request) -> Exception:
+            remaining["n"] -= 1
+            if remaining["n"] <= 0:
+                self.clear_failure(request.host)
+            return ConnectionReset(request.host)
+
+        self.inject_failure(host, factory)
+
+    def clear_failure(self, host: str) -> None:
+        """Remove any injected failure for *host*."""
+        self._failures.pop(host.lower(), None)
+
+    # -- request dispatch ---------------------------------------------------
+
+    def request(self, request: Request) -> Response:
+        """Deliver *request* to its host's handler.
+
+        Raises:
+            DNSFailure: No handler is registered for the host.
+            NetError: An injected failure fired.
+        """
+        key = request.host.lower()
+        failure = self._failures.get(key)
+        if failure is not None:
+            raise failure(request)
+        handler = self._handlers.get(key)
+        if handler is None:
+            raise DNSFailure(request.host)
+        # Propagate the simulation clock to handlers that keep logs.
+        if hasattr(handler, "now"):
+            handler.now = self.now
+        return handler.handle(request)

@@ -1,0 +1,171 @@
+"""A minimal WARC (Web ARChive) writer/reader.
+
+Common Crawl distributes its corpus as WARC files; a reproduction that
+stands in for Common Crawl should be able to speak the format.  This
+module implements the subset the robots.txt corpus needs: ``warcinfo``
+and ``response`` records with the standard named fields, serialized in
+the WARC/1.0 framing (headers, blank line, block, two blank lines).
+
+The writer pairs with :mod:`repro.crawlers.commoncrawl`:
+:func:`snapshot_to_warc` renders one snapshot's robots.txt fetches as a
+WARC file, and :func:`parse_warc` / :func:`warc_to_records` read one
+back into :class:`~repro.crawlers.commoncrawl.SiteRecord` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..crawlers.commoncrawl import SiteRecord, Snapshot
+
+__all__ = [
+    "WarcRecord",
+    "render_warc",
+    "parse_warc",
+    "snapshot_to_warc",
+    "warc_to_records",
+]
+
+_VERSION = "WARC/1.0"
+
+
+@dataclass
+class WarcRecord:
+    """One WARC record.
+
+    Attributes:
+        record_type: ``warcinfo``, ``response``, ``request``, ...
+        headers: WARC named fields (``WARC-Target-URI`` etc.).
+        block: The record block (e.g. an HTTP response message).
+    """
+
+    record_type: str
+    headers: Dict[str, str] = field(default_factory=dict)
+    block: str = ""
+
+    @property
+    def target_uri(self) -> Optional[str]:
+        return self.headers.get("WARC-Target-URI")
+
+
+def render_warc(records: List[WarcRecord]) -> str:
+    """Serialize *records* in WARC/1.0 framing."""
+    chunks: List[str] = []
+    for record in records:
+        block_bytes = record.block.encode("utf-8")
+        lines = [
+            _VERSION,
+            f"WARC-Type: {record.record_type}",
+        ]
+        for name, value in record.headers.items():
+            lines.append(f"{name}: {value}")
+        lines.append(f"Content-Length: {len(block_bytes)}")
+        chunks.append("\r\n".join(lines) + "\r\n\r\n" + record.block + "\r\n\r\n")
+    return "".join(chunks)
+
+
+def parse_warc(text: str) -> List[WarcRecord]:
+    """Parse WARC/1.0 text back into records.
+
+    Content-Length is honored in bytes over the UTF-8 encoding, so
+    blocks containing blank lines round-trip correctly.
+    """
+    records: List[WarcRecord] = []
+    data = text
+    while True:
+        start = data.find(_VERSION)
+        if start == -1:
+            break
+        data = data[start:]
+        header_end = data.find("\r\n\r\n")
+        if header_end == -1:
+            break
+        header_text = data[len(_VERSION): header_end]
+        headers: Dict[str, str] = {}
+        record_type = ""
+        content_length = 0
+        for line in header_text.split("\r\n"):
+            if not line.strip():
+                continue
+            name, _, value = line.partition(":")
+            name, value = name.strip(), value.strip()
+            if name.lower() == "warc-type":
+                record_type = value
+            elif name.lower() == "content-length":
+                content_length = int(value)
+            else:
+                headers[name] = value
+        body_start = header_end + 4
+        remainder_bytes = data[body_start:].encode("utf-8")
+        block = remainder_bytes[:content_length].decode("utf-8", errors="replace")
+        records.append(
+            WarcRecord(record_type=record_type, headers=headers, block=block)
+        )
+        data = remainder_bytes[content_length:].decode("utf-8", errors="replace")
+    return records
+
+
+def _http_response_block(record: SiteRecord) -> str:
+    if record.ok:
+        body = record.robots_txt or ""
+        status_line = "HTTP/1.1 200 OK"
+        content_type = "text/plain"
+    else:
+        body = record.error or ""
+        status_line = f"HTTP/1.1 {record.status or 0} FETCH-RESULT"
+        content_type = "text/plain"
+    return (
+        f"{status_line}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body.encode('utf-8'))}\r\n"
+        "\r\n"
+        f"{body}"
+    )
+
+
+def snapshot_to_warc(snapshot: Snapshot) -> str:
+    """Render one snapshot's robots.txt fetches as a WARC file."""
+    records: List[WarcRecord] = [
+        WarcRecord(
+            record_type="warcinfo",
+            headers={"WARC-Filename": f"{snapshot.spec.snapshot_id}.warc"},
+            block=(
+                f"software: repro snapshot crawler\r\n"
+                f"snapshot: {snapshot.spec.snapshot_id}\r\n"
+                f"label: {snapshot.spec.label}\r\n"
+                f"month-index: {snapshot.spec.month_index}\r\n"
+            ),
+        )
+    ]
+    for domain, record in snapshot.records.items():
+        records.append(
+            WarcRecord(
+                record_type="response",
+                headers={
+                    "WARC-Target-URI": f"https://{domain}/robots.txt",
+                    "WARC-Record-Status": str(record.status),
+                },
+                block=_http_response_block(record),
+            )
+        )
+    return render_warc(records)
+
+
+def warc_to_records(text: str) -> List[SiteRecord]:
+    """Read a robots.txt WARC back into :class:`SiteRecord` objects."""
+    out: List[SiteRecord] = []
+    for record in parse_warc(text):
+        if record.record_type != "response":
+            continue
+        uri = record.target_uri or ""
+        domain = uri.split("://", 1)[-1].split("/", 1)[0]
+        status = int(record.headers.get("WARC-Record-Status", "0"))
+        _, _, body = record.block.partition("\r\n\r\n")
+        if status == 200:
+            out.append(SiteRecord(domain=domain, status=200, robots_txt=body))
+        elif status == 0:
+            out.append(SiteRecord(domain=domain, status=0, error=body or None))
+        else:
+            out.append(SiteRecord(domain=domain, status=status))
+    return out

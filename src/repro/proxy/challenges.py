@@ -1,0 +1,114 @@
+"""Block, challenge, and captcha pages -- generation and detection.
+
+Active blockers do not just return bare status codes: they serve
+distinctive interstitial pages ("Access denied", "Checking your
+browser...", captchas).  The Section 6.3 audit infers Cloudflare
+settings from *which kind* of page comes back (Figure 7), and block-page
+detection via content differences follows Jones et al. [53].  This
+module renders the pages our simulated services serve and provides the
+classifiers the measurement side uses.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = [
+    "PageKind",
+    "block_page",
+    "challenge_page",
+    "captcha_page",
+    "labyrinth_page",
+    "classify_page",
+]
+
+
+class PageKind(enum.Enum):
+    """What kind of document a response body looks like."""
+
+    CONTENT = "content"
+    BLOCK = "block"
+    CHALLENGE = "challenge"
+    CAPTCHA = "captcha"
+    LABYRINTH = "labyrinth"
+
+
+_BLOCK_MARKER = "access-denied-error-1020"
+_CHALLENGE_MARKER = "browser-challenge-interstitial"
+_CAPTCHA_MARKER = "captcha-verification-widget"
+_LABYRINTH_MARKER = "generated-maze-content"
+
+
+def block_page(service: str = "Cloudflare", host: str = "") -> str:
+    """An "Access denied" page as served by *service*."""
+    return (
+        "<!DOCTYPE html><html><head><title>Access denied</title></head>"
+        f'<body class="{_BLOCK_MARKER}">'
+        f"<h1>Sorry, you have been blocked</h1>"
+        f"<p>You are unable to access {host or 'this site'}.</p>"
+        f"<p>This website is using {service} to protect itself from online "
+        "attacks. The action you just performed triggered the security "
+        "solution.</p></body></html>"
+    )
+
+
+def challenge_page(service: str = "Cloudflare", host: str = "") -> str:
+    """A JavaScript-challenge interstitial ("Checking your browser")."""
+    return (
+        "<!DOCTYPE html><html><head><title>Just a moment...</title></head>"
+        f'<body class="{_CHALLENGE_MARKER}">'
+        f"<h1>Checking your browser before accessing {host or 'this site'}</h1>"
+        f"<p>{service} needs to review the security of your connection "
+        "before proceeding.</p>"
+        '<noscript>Please enable JavaScript.</noscript></body></html>'
+    )
+
+
+def captcha_page(service: str = "origin", host: str = "") -> str:
+    """A captcha wall, as ArtStation and Carbonmade serve to automation."""
+    return (
+        "<!DOCTYPE html><html><head><title>Verify you are human</title></head>"
+        f'<body class="{_CAPTCHA_MARKER}">'
+        "<h1>Verify you are human by completing the action below</h1>"
+        f'<div class="captcha-box" data-service="{service}"></div>'
+        "</body></html>"
+    )
+
+
+def labyrinth_page(seed: int = 0) -> str:
+    """Decoy content in the style of Cloudflare's AI Labyrinth [110].
+
+    Serves plausible-but-fake generated text to trap misbehaving bots
+    instead of refusing them.
+    """
+    topics = ["migration patterns", "alloy tempering", "tidal modeling",
+              "orchard grafting", "glacial stratigraphy"]
+    topic = topics[seed % len(topics)]
+    return (
+        "<!DOCTYPE html><html><head><title>Further reading</title></head>"
+        f'<body class="{_LABYRINTH_MARKER}">'
+        f"<h1>Notes on {topic}</h1>"
+        f"<p>Continued analysis of {topic} suggests further links below.</p>"
+        f'<a href="/archive/{seed + 1}">next</a>'
+        f'<a href="/archive/{seed + 2}">related</a>'
+        "</body></html>"
+    )
+
+
+def classify_page(html: str) -> PageKind:
+    """Classify a response body by its interstitial markers.
+
+    Detection keys on the structural markers the generators embed plus
+    the user-visible phrases real services use, so the classifier also
+    recognizes hand-written lookalikes in tests.
+    """
+    low = html.lower()
+    if _LABYRINTH_MARKER in low:
+        return PageKind.LABYRINTH
+    if _CAPTCHA_MARKER in low or "verify you are human" in low:
+        return PageKind.CAPTCHA
+    if _CHALLENGE_MARKER in low or "checking your browser" in low or "just a moment" in low:
+        return PageKind.CHALLENGE
+    if _BLOCK_MARKER in low or "you have been blocked" in low or "access denied" in low:
+        return PageKind.BLOCK
+    return PageKind.CONTENT

@@ -1,0 +1,127 @@
+"""Generic reverse proxy with rule-based active blocking.
+
+A :class:`ReverseProxy` fronts an origin handler: it evaluates its
+:class:`~repro.proxy.rules.RuleSet` against each request and either
+serves an interstitial (block / challenge / captcha / decoy), raises a
+transport error (connection reset), or forwards to the origin.  It also
+optionally runs the fingerprint detector, modeling bot-management
+products that block *all* automation, which is what makes 15% of
+popular sites unmeasurable for the paper's UA-based detector
+(Section 6.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..net.accesslog import AccessLog, LogEntry
+from ..net.errors import ConnectionReset
+from ..net.http import Request, Response
+from ..net.transport import Handler
+from .challenges import block_page, captcha_page, challenge_page, labyrinth_page
+from .fingerprint import is_automated
+from .rules import Action, RuleSet
+
+__all__ = ["ReverseProxy"]
+
+
+class ReverseProxy:
+    """Rule-evaluating reverse proxy in front of one origin.
+
+    Args:
+        origin: The wrapped origin handler.
+        ruleset: Blocking rules evaluated per request.
+        service_name: Name shown on interstitial pages.
+        block_all_automation: When True, fingerprint-detected automation
+            is served the automation interstitial regardless of rules
+            (the "inherently blocks our tool" behavior).
+        automation_action: What to serve fingerprint-detected clients.
+
+    The proxy exposes ``host`` (delegating to the origin) so it can be
+    registered on a :class:`~repro.net.transport.Network` in the
+    origin's place.
+    """
+
+    def __init__(
+        self,
+        origin: Handler,
+        ruleset: Optional[RuleSet] = None,
+        service_name: str = "reverse-proxy",
+        block_all_automation: bool = False,
+        automation_action: Action = Action.CAPTCHA,
+    ):
+        self.origin = origin
+        self.ruleset = ruleset or RuleSet()
+        self.service_name = service_name
+        self.block_all_automation = block_all_automation
+        self.automation_action = automation_action
+        self.access_log = AccessLog()
+        self.now: float = 0.0
+
+    @property
+    def host(self) -> str:
+        """The origin's hostname (routing key)."""
+        return getattr(self.origin, "host", "")
+
+    # -- interstitial construction ------------------------------------------
+
+    def _interstitial(self, action: Action, request: Request) -> Response:
+        host = request.host
+        if action is Action.BLOCK:
+            return Response(status=403, body=block_page(self.service_name, host), url=request.url)
+        if action is Action.CHALLENGE:
+            return Response(status=403, body=challenge_page(self.service_name, host), url=request.url)
+        if action is Action.CAPTCHA:
+            return Response(status=403, body=captcha_page(self.service_name, host), url=request.url)
+        if action is Action.FAKE_CONTENT:
+            # Path-dependent decoy: every labyrinth page links to two
+            # more, so a crawler that ignored robots.txt wanders an
+            # endless generated maze instead of reaching real content
+            # (Cloudflare's AI Labyrinth [110]).
+            return Response(
+                status=200,
+                body=labyrinth_page(self._labyrinth_seed(request.path_only)),
+                url=request.url,
+            )
+        raise ValueError(f"no interstitial for action {action}")
+
+    @staticmethod
+    def _labyrinth_seed(path: str) -> int:
+        tail = path.rsplit("/", 1)[-1]
+        if tail.isdigit():
+            return int(tail)
+        return sum(path.encode("utf-8")) % 1000
+
+    # -- request handling ---------------------------------------------------
+
+    def handle(self, request: Request) -> Response:
+        """Apply blocking policy, then forward to the origin."""
+        action = self.ruleset.decide(request)
+        if action is None and self.block_all_automation and is_automated(request):
+            action = self.automation_action
+        if action is Action.RESET:
+            self._log(request, 0, 0)
+            raise ConnectionReset(request.host)
+        if action is not None:
+            response = self._interstitial(action, request)
+            self._log(request, response.status, response.content_length)
+            return response
+        if hasattr(self.origin, "now"):
+            self.origin.now = self.now
+        response = self.origin.handle(request)
+        self._log(request, response.status, response.content_length)
+        return response
+
+    def _log(self, request: Request, status: int, size: int) -> None:
+        self.access_log.append(
+            LogEntry(
+                timestamp=self.now,
+                client_ip=request.client_ip,
+                method=request.method,
+                path=request.path,
+                status=status,
+                body_bytes=size,
+                user_agent=request.user_agent,
+                host=request.host,
+            )
+        )

@@ -1,0 +1,123 @@
+"""Blocking rules: the policy language of active blockers.
+
+A :class:`BlockRule` matches requests on user-agent patterns, source
+networks, and path prefixes, and prescribes an :class:`Action`.  A
+:class:`RuleSet` evaluates rules in order, first match wins -- the same
+discipline as Apache ``.htaccess`` deny rules or a WAF rule list
+(Section 2.2, "Active blocking").
+"""
+
+from __future__ import annotations
+
+import enum
+import ipaddress
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+from ..agents.useragent import matches_any
+from ..net.http import Request
+
+__all__ = ["Action", "BlockRule", "RuleSet"]
+
+
+class Action(enum.Enum):
+    """What a matching rule does to the request."""
+
+    #: Return 403 with a block page.
+    BLOCK = "block"
+    #: Return a browser-verification interstitial.
+    CHALLENGE = "challenge"
+    #: Return a captcha wall.
+    CAPTCHA = "captcha"
+    #: Drop the connection (observable as a transport error).
+    RESET = "reset"
+    #: Serve decoy content (Cloudflare Labyrinth style).
+    FAKE_CONTENT = "fake-content"
+    #: Explicitly allow, short-circuiting later rules.
+    ALLOW = "allow"
+
+
+@dataclass
+class BlockRule:
+    """One matching rule.
+
+    All specified conditions must hold (AND); unspecified conditions
+    match everything.
+
+    Attributes:
+        action: What to do on match.
+        ua_patterns: Substring patterns against the User-Agent header
+            (Cloudflare-style; a trailing ``/`` requires the version
+            separator).  Empty means "any UA".
+        networks: CIDR blocks the client IP must fall into.
+        path_prefix: Required path prefix.
+        label: Human-readable rule name for logs and tests.
+    """
+
+    action: Action
+    ua_patterns: Sequence[str] = ()
+    networks: Sequence[str] = ()
+    path_prefix: str = ""
+    label: str = ""
+
+    def matches(self, request: Request) -> bool:
+        """Whether this rule applies to *request*."""
+        if self.ua_patterns and not matches_any(request.user_agent, list(self.ua_patterns)):
+            return False
+        if self.networks and not self._ip_matches(request.client_ip):
+            return False
+        if self.path_prefix and not request.path_only.startswith(self.path_prefix):
+            return False
+        return True
+
+    def _ip_matches(self, address: str) -> bool:
+        try:
+            ip = ipaddress.ip_address(address)
+        except ValueError:
+            return False
+        return any(ip in ipaddress.ip_network(block) for block in self.networks)
+
+
+@dataclass
+class RuleSet:
+    """An ordered rule list with first-match-wins evaluation.
+
+    >>> rules = RuleSet([BlockRule(Action.BLOCK, ua_patterns=["Bytespider"])])
+    >>> rules.decide(Request(host="e.com", headers={"User-Agent": "Bytespider"}))
+    <Action.BLOCK: 'block'>
+    """
+
+    rules: List[BlockRule] = field(default_factory=list)
+
+    def add(self, rule: BlockRule) -> "RuleSet":
+        """Append a rule; returns self for chaining."""
+        self.rules.append(rule)
+        return self
+
+    def decide(self, request: Request) -> Optional[Action]:
+        """The action of the first matching rule, or None.
+
+        An :attr:`Action.ALLOW` match returns None (request passes) and
+        stops evaluation, which is how allowlist-before-blocklist
+        configurations are expressed.
+        """
+        for rule in self.rules:
+            if rule.matches(request):
+                if rule.action is Action.ALLOW:
+                    return None
+                return rule.action
+        return None
+
+    def matching_rule(self, request: Request) -> Optional[BlockRule]:
+        """The first matching rule itself (including ALLOW), or None."""
+        for rule in self.rules:
+            if rule.matches(request):
+                return rule
+        return None
+
+    @classmethod
+    def blocking_user_agents(
+        cls, patterns: Iterable[str], action: Action = Action.BLOCK, label: str = ""
+    ) -> "RuleSet":
+        """A one-rule set blocking the given UA patterns."""
+        return cls([BlockRule(action, ua_patterns=list(patterns), label=label)])

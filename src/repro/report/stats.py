@@ -1,0 +1,115 @@
+"""Statistical utilities for measurement results.
+
+Measurement papers report proportions over sampled populations; honest
+reproductions should carry uncertainty alongside the point estimates,
+especially at reduced simulation scale.  This module provides:
+
+* :func:`wilson_interval` -- the Wilson score interval for a binomial
+  proportion (well-behaved at small n and extreme p, unlike the normal
+  approximation),
+* :func:`bootstrap_mean_interval` -- a seeded percentile bootstrap for
+  means of arbitrary samples,
+* :func:`proportion_summary` -- a formatted "p% [lo, hi]" string used
+  in experiment output.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from ..util import seeded_rng
+
+__all__ = ["wilson_interval", "bootstrap_mean_interval", "proportion_summary"]
+
+#: z-scores for common confidence levels.
+_Z = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+
+
+def _z_for(confidence: float) -> float:
+    if confidence in _Z:
+        return _Z[confidence]
+    if not 0.5 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0.5, 1), got {confidence}")
+    # Rational approximation (Abramowitz & Stegun 26.2.23) for other
+    # levels -- accurate to ~4.5e-4, plenty for reporting.
+    p = 1.0 - (1.0 - confidence) / 2.0
+    t = math.sqrt(-2.0 * math.log(1.0 - p))
+    return t - (2.30753 + 0.27061 * t) / (1.0 + 0.99229 * t + 0.04481 * t * t)
+
+
+def wilson_interval(
+    successes: int, total: int, confidence: float = 0.95
+) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    >>> lo, hi = wilson_interval(50, 100)
+    >>> 0.40 < lo < 0.5 < hi < 0.60
+    True
+    """
+    if total <= 0:
+        return (0.0, 1.0)
+    if not 0 <= successes <= total:
+        raise ValueError("successes must be within [0, total]")
+    z = _z_for(confidence)
+    p_hat = successes / total
+    denom = 1.0 + z * z / total
+    center = (p_hat + z * z / (2 * total)) / denom
+    margin = (
+        z
+        * math.sqrt(p_hat * (1 - p_hat) / total + z * z / (4 * total * total))
+        / denom
+    )
+    lo = max(0.0, center - margin)
+    hi = min(1.0, center + margin)
+    # Pin the boundaries exactly at degenerate counts so the interval
+    # always contains the point estimate despite float rounding.
+    if successes == 0:
+        lo = 0.0
+    if successes == total:
+        hi = 1.0
+    return (lo, hi)
+
+
+def bootstrap_mean_interval(
+    sample: Sequence[float],
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: int = 42,
+) -> Tuple[float, float]:
+    """Seeded percentile-bootstrap CI for the mean of *sample*.
+
+    >>> lo, hi = bootstrap_mean_interval([1.0, 2.0, 3.0, 4.0], seed=1)
+    >>> lo < 2.5 < hi
+    True
+    """
+    if not sample:
+        raise ValueError("sample must be non-empty")
+    rng = seeded_rng(seed, "bootstrap", len(sample))
+    n = len(sample)
+    means: List[float] = []
+    for _ in range(n_resamples):
+        total = 0.0
+        for _ in range(n):
+            total += sample[rng.randrange(n)]
+        means.append(total / n)
+    means.sort()
+    alpha = (1.0 - confidence) / 2.0
+    lo_index = max(0, int(math.floor(alpha * n_resamples)))
+    hi_index = min(n_resamples - 1, int(math.ceil((1.0 - alpha) * n_resamples)) - 1)
+    return (means[lo_index], means[hi_index])
+
+
+def proportion_summary(
+    successes: int, total: int, confidence: float = 0.95
+) -> str:
+    """Format a proportion with its Wilson interval, as percentages.
+
+    >>> proportion_summary(107, 1875)
+    '5.7% [4.7%, 6.8%]'
+    """
+    if total <= 0:
+        return "n/a"
+    lo, hi = wilson_interval(successes, total, confidence)
+    pct = 100.0 * successes / total
+    return f"{pct:.1f}% [{100 * lo:.1f}%, {100 * hi:.1f}%]"

@@ -1,0 +1,60 @@
+"""Plain-text table rendering for experiment outputs."""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+__all__ = ["render_table", "format_cell"]
+
+
+def format_cell(value: Any) -> str:
+    """Format one cell: floats get two decimals, the rest ``str()``.
+
+    >>> format_cell(3.14159)
+    '3.14'
+    >>> format_cell("x")
+    'x'
+    """
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an ASCII table with padded columns.
+
+    >>> print(render_table(["a", "b"], [[1, 2]]))
+    a | b
+    --+--
+    1 | 2
+    """
+    text_rows: List[List[str]] = [[format_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+            else:
+                widths.append(len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        padded = [
+            cell.ljust(widths[index]) for index, cell in enumerate(cells)
+        ]
+        return " | ".join(padded).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_row(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append(fmt_row(row))
+    return "\n".join(lines)

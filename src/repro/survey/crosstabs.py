@@ -1,0 +1,208 @@
+"""Cross-tabulations and association tests over survey responses.
+
+Section 4 reads off marginal rates; a natural analysis extension (and a
+staple of measurement-study appendices) is testing *associations*:
+is prior robots.txt awareness associated with professional status?
+does technical familiarity predict adoption intent?  This module builds
+contingency tables from respondent answers and runs chi-square tests of
+independence (via scipy), with a pure-Python fallback statistic so the
+module works without scipy too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .instrument import LIKERT_5
+from .respondents import Respondent
+
+__all__ = [
+    "ContingencyTable",
+    "build_contingency",
+    "chi_square",
+    "awareness_by_professional",
+    "intent_by_familiarity",
+    "actions_by_impact",
+]
+
+
+@dataclass
+class ContingencyTable:
+    """A labeled two-way contingency table.
+
+    Attributes:
+        row_labels / col_labels: Category names.
+        counts: counts[i][j] for (row i, column j).
+    """
+
+    row_labels: List[str]
+    col_labels: List[str]
+    counts: List[List[int]]
+
+    @property
+    def total(self) -> int:
+        return sum(sum(row) for row in self.counts)
+
+    def row_totals(self) -> List[int]:
+        return [sum(row) for row in self.counts]
+
+    def col_totals(self) -> List[int]:
+        return [sum(row[j] for row in self.counts) for j in range(len(self.col_labels))]
+
+    def proportions_by_row(self) -> List[List[float]]:
+        """Each row normalized to its total (0 rows stay 0)."""
+        out = []
+        for row in self.counts:
+            total = sum(row)
+            out.append([cell / total if total else 0.0 for cell in row])
+        return out
+
+
+def build_contingency(
+    respondents: Sequence[Respondent],
+    row_of: Callable[[Respondent], Optional[str]],
+    col_of: Callable[[Respondent], Optional[str]],
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+) -> ContingencyTable:
+    """Tabulate respondents by two categorical functions.
+
+    Respondents mapping to None on either axis are skipped.
+    """
+    row_index = {label: i for i, label in enumerate(row_labels)}
+    col_index = {label: j for j, label in enumerate(col_labels)}
+    counts = [[0] * len(col_labels) for _ in row_labels]
+    for r in respondents:
+        row = row_of(r)
+        col = col_of(r)
+        if row is None or col is None:
+            continue
+        if row not in row_index or col not in col_index:
+            continue
+        counts[row_index[row]][col_index[col]] += 1
+    return ContingencyTable(list(row_labels), list(col_labels), counts)
+
+
+@dataclass(frozen=True)
+class ChiSquareResult:
+    """Chi-square test of independence.
+
+    Attributes:
+        statistic: The chi-square statistic.
+        dof: Degrees of freedom.
+        p_value: Two-sided p-value (None when scipy is unavailable).
+    """
+
+    statistic: float
+    dof: int
+    p_value: Optional[float]
+
+
+def chi_square(table: ContingencyTable) -> ChiSquareResult:
+    """Chi-square test of independence over *table*.
+
+    Rows/columns with zero totals are dropped before testing (standard
+    practice; an all-zero margin makes expected counts undefined).
+    """
+    counts = [row[:] for row in table.counts]
+    keep_rows = [i for i, total in enumerate(table.row_totals()) if total > 0]
+    keep_cols = [j for j, total in enumerate(table.col_totals()) if total > 0]
+    counts = [[counts[i][j] for j in keep_cols] for i in keep_rows]
+    n_rows, n_cols = len(counts), len(counts[0]) if counts else 0
+    if n_rows < 2 or n_cols < 2:
+        return ChiSquareResult(statistic=0.0, dof=0, p_value=None)
+
+    try:
+        from scipy.stats import chi2_contingency
+
+        statistic, p_value, dof, _ = chi2_contingency(counts)
+        return ChiSquareResult(float(statistic), int(dof), float(p_value))
+    except ImportError:  # pragma: no cover - scipy present in CI
+        total = sum(sum(row) for row in counts)
+        row_totals = [sum(row) for row in counts]
+        col_totals = [sum(row[j] for row in counts) for j in range(n_cols)]
+        statistic = 0.0
+        for i in range(n_rows):
+            for j in range(n_cols):
+                expected = row_totals[i] * col_totals[j] / total
+                if expected:
+                    statistic += (counts[i][j] - expected) ** 2 / expected
+        return ChiSquareResult(statistic, (n_rows - 1) * (n_cols - 1), None)
+
+
+# -- canned analyses -------------------------------------------------------------
+
+
+def _heard(r: Respondent) -> Optional[str]:
+    answer = r.answers.get("Q24")
+    if answer not in ("Yes", "No"):
+        return None
+    return "heard" if answer == "Yes" else "never heard"
+
+
+def awareness_by_professional(respondents: Sequence[Respondent]) -> ContingencyTable:
+    """Prior robots.txt awareness vs professional status."""
+    return build_contingency(
+        respondents,
+        row_of=lambda r: "professional" if r.answers.get("Q1") == "Yes" else "hobbyist",
+        col_of=_heard,
+        row_labels=["professional", "hobbyist"],
+        col_labels=["heard", "never heard"],
+    )
+
+
+def intent_by_familiarity(respondents: Sequence[Respondent]) -> ContingencyTable:
+    """Post-explainer adoption intent vs self-rated web familiarity.
+
+    Restricted to the never-heard group (the only one asked Q26).
+    """
+
+    def familiarity(r: Respondent) -> Optional[str]:
+        grid = r.answers.get("Q6") or {}
+        score = grid.get("Website")
+        if score is None:
+            return None
+        return "high familiarity" if float(score) >= 4 else "low familiarity"
+
+    def intent(r: Respondent) -> Optional[str]:
+        answer = r.answers.get("Q26")
+        if answer is None:
+            return None
+        return "would adopt" if answer in LIKERT_5[3:] else "would not"
+
+    return build_contingency(
+        respondents,
+        row_of=familiarity,
+        col_of=intent,
+        row_labels=["high familiarity", "low familiarity"],
+        col_labels=["would adopt", "would not"],
+    )
+
+
+def actions_by_impact(respondents: Sequence[Respondent]) -> ContingencyTable:
+    """Protective action taken vs expected job impact."""
+
+    def impact(r: Respondent) -> Optional[str]:
+        answer = str(r.answers.get("Q16", ""))
+        if not answer:
+            return None
+        return (
+            "significant+"
+            if answer in ("Significant impact", "Severe impact")
+            else "below significant"
+        )
+
+    def acted(r: Respondent) -> Optional[str]:
+        answer = r.answers.get("Q17")
+        if answer not in ("Yes", "No"):
+            return None
+        return "took action" if answer == "Yes" else "no action"
+
+    return build_contingency(
+        respondents,
+        row_of=impact,
+        col_of=acted,
+        row_labels=["significant+", "below significant"],
+        col_labels=["took action", "no action"],
+    )

@@ -1,0 +1,227 @@
+"""The simulated site: robots.txt schedule plus serving configuration.
+
+A :class:`SimSite` is the static description of one website across the
+whole study window: how its robots.txt evolved month by month, whether
+it sits behind Cloudflare and with which toggles, whether it runs its
+own UA-based blocking, whether it blocks automation wholesale, and
+whether its pages carry NoAI meta tags.  :meth:`SimSite.build_handler`
+materializes the site as a servable handler (origin website, possibly
+wrapped in a proxy) for a given month, which is how the measurement
+pipelines interact with it -- over HTTP, not by reading attributes.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+from ..net.server import Website, render_page
+from ..net.transport import Handler
+from ..proxy.cloudflare import CloudflareProxy, CloudflareSettings
+from ..proxy.reverse_proxy import ReverseProxy
+from ..proxy.rules import Action, BlockRule, RuleSet
+
+__all__ = ["BlockingConfig", "SimSite"]
+
+#: UA patterns a self-managed WAF blocks when a site "actively blocks
+#: Anthropic's crawlers" (the Section 6.2 population).
+ANTHROPIC_UA_PATTERNS = ("Claudebot", "anthropic-ai")
+
+
+@dataclass
+class BlockingConfig:
+    """A site's active-blocking posture (evaluated at serve time).
+
+    Attributes:
+        cloudflare: Cloudflare zone settings, or None when the site is
+            not behind Cloudflare.
+        cf_custom_confound: The site runs additional third-party or
+            custom blocking that makes the Figure 7 inference
+            indeterminate (e.g. PerimeterX in front of everything).
+        waf_blocks_anthropic: A custom origin/WAF rule blocking the
+            ClaudeBot and anthropic-ai user agents.
+        blocks_automation: The site blocks all fingerprint-detected
+            automation (the "inherently blocks our tool" behavior).
+        ip_blocks_published_ai: The site firewalls the *source ranges*
+            of AI crawlers with published IPs (GPTBot, CCBot, ...).
+            Invisible to the paper's UA-differential detector, which is
+            why Section 6.1 calls its estimate "a form of active
+            blocking that we cannot measure".
+    """
+
+    cloudflare: Optional[CloudflareSettings] = None
+    cf_custom_confound: bool = False
+    waf_blocks_anthropic: bool = False
+    blocks_automation: bool = False
+    ip_blocks_published_ai: bool = False
+
+    @property
+    def on_cloudflare(self) -> bool:
+        """Whether the site is served through Cloudflare."""
+        return self.cloudflare is not None
+
+    @property
+    def blocks_anthropic_uas(self) -> bool:
+        """Whether requests with Anthropic UAs are actively blocked."""
+        if self.waf_blocks_anthropic:
+            return True
+        if self.cloudflare is not None and self.cloudflare.block_ai_bots:
+            return True
+        if self.cf_custom_confound:
+            return True
+        return False
+
+
+@dataclass
+class SimSite:
+    """One simulated website over the whole study window.
+
+    Attributes:
+        domain: The site's domain.
+        rank: Stable popularity rank (0 = most popular).
+        tier: ``"top5k"`` or ``"other"`` within the stable set.
+        category: Editorial category (news, shopping, misinfo, ...).
+        publisher: Owning publisher for portfolio domains, else None.
+        robots_schedule: ``(month, text-or-None)`` changes, sorted by
+            month; the entry with the largest month <= m is in effect at
+            month m.  None means "serves no robots.txt".
+        missing_months: Months where the site's robots.txt is
+            unavailable to crawlers (transient errors), making the site
+            fail the paper's every-snapshot filter.
+        blocking: Active-blocking posture.
+        meta_noai / meta_noimageai: NoAI meta tags on pages.
+    """
+
+    domain: str
+    rank: int
+    tier: str = "other"
+    category: str = "general"
+    publisher: Optional[str] = None
+    robots_schedule: List[Tuple[int, Optional[str]]] = field(default_factory=list)
+    missing_months: Set[int] = field(default_factory=set)
+    blocking: BlockingConfig = field(default_factory=BlockingConfig)
+    meta_noai: bool = False
+    meta_noimageai: bool = False
+
+    def __post_init__(self) -> None:
+        self.robots_schedule.sort(key=lambda pair: pair[0])
+
+    # -- robots.txt over time -------------------------------------------------
+
+    def robots_at(self, month: int) -> Optional[str]:
+        """The robots.txt text in effect at *month* (None = absent)."""
+        if month in self.missing_months:
+            return None
+        months = [m for m, _ in self.robots_schedule]
+        index = bisect.bisect_right(months, month) - 1
+        if index < 0:
+            return None
+        return self.robots_schedule[index][1]
+
+    def set_robots(self, month: int, text: Optional[str]) -> None:
+        """Record a robots.txt change landing at *month*."""
+        self.robots_schedule = [
+            (m, t) for m, t in self.robots_schedule if m != month
+        ]
+        self.robots_schedule.append((month, text))
+        self.robots_schedule.sort(key=lambda pair: pair[0])
+
+    def change_months(self) -> List[int]:
+        """Months at which the robots.txt changed."""
+        return [m for m, _ in self.robots_schedule]
+
+    # -- materialization ----------------------------------------------------------
+
+    def _meta_content(self) -> Optional[str]:
+        tags = []
+        if self.meta_noai:
+            tags.append("noai")
+        if self.meta_noimageai:
+            tags.append("noimageai")
+        return ", ".join(tags) if tags else None
+
+    def build_origin(self, month: int) -> Website:
+        """The origin website as it stood at *month* (no proxies)."""
+        site = Website(self.domain)
+        site.add_page(
+            "/",
+            render_page(
+                f"{self.domain} home",
+                paragraphs=[f"{self.category} content from {self.domain}."],
+                links=["/about", "/news/latest"],
+                meta_robots=self._meta_content(),
+            ),
+        )
+        site.add_page(
+            "/about",
+            render_page(f"About {self.domain}", paragraphs=["About page."]),
+        )
+        site.add_page(
+            "/news/latest",
+            render_page("Latest", paragraphs=["Fresh content."]),
+        )
+        site.set_robots_txt(self.robots_at(month))
+        return site
+
+    def build_handler(self, month: int) -> Handler:
+        """The servable handler at *month*: origin plus blocking layers."""
+        origin = self.build_origin(month)
+        handler: Handler = origin
+
+        needs_origin_waf = (
+            self.blocking.waf_blocks_anthropic
+            or self.blocking.blocks_automation
+            or self.blocking.ip_blocks_published_ai
+        )
+        if needs_origin_waf:
+            rules = RuleSet()
+            if self.blocking.waf_blocks_anthropic:
+                rules.add(
+                    BlockRule(
+                        Action.BLOCK,
+                        ua_patterns=list(ANTHROPIC_UA_PATTERNS),
+                        label="block-anthropic",
+                    )
+                )
+            if self.blocking.ip_blocks_published_ai:
+                from ..agents.ipranges import CRAWLER_RANGES
+
+                published = [
+                    block.network
+                    for block in CRAWLER_RANGES.values()
+                    if block.published and block.token not in ("Googlebot", "Bingbot")
+                ]
+                rules.add(
+                    BlockRule(
+                        Action.BLOCK,
+                        networks=published,
+                        label="ip-blocklist",
+                    )
+                )
+            handler = ReverseProxy(
+                handler,
+                rules,
+                service_name=f"{self.domain}-waf",
+                block_all_automation=self.blocking.blocks_automation,
+            )
+
+        if self.blocking.cloudflare is not None:
+            custom = RuleSet()
+            if self.blocking.cf_custom_confound:
+                # A third-party bot manager with its own idiosyncratic
+                # UA list: it challenges the AI probes but not the
+                # Definitely-Automated probes, a disposition no managed
+                # ruleset produces -- which is exactly what defeats the
+                # Figure 7 inference for these zones.
+                custom.add(
+                    BlockRule(
+                        Action.CHALLENGE,
+                        ua_patterns=["claud", "anthropic", "python", "curl"],
+                        label="third-party-bot-manager",
+                    )
+                )
+            handler = CloudflareProxy(
+                handler, self.blocking.cloudflare, custom_rules=custom
+            )
+        return handler

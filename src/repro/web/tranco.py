@@ -1,0 +1,95 @@
+"""Tranco-style popularity rankings with month-to-month churn.
+
+The paper's "Stable Top 100K" filter (Section 3.1) exists because top
+lists churn [96]: a site in this month's top 100k may drop out next
+month.  This module generates monthly rankings with realistic churn so
+that the stable-set filter actually filters, then exposes the same
+stable-set operation the paper performs.
+
+Popularity is modeled as a latent Zipf-like base score per site plus
+monthly log-normal noise; ranking a month means sorting by that month's
+noisy score.  Churn is concentrated near rank boundaries, exactly as in
+real lists.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from ..util import seeded_rng
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set
+
+from .domains import domain_name
+
+__all__ = ["RankingModel", "stable_sites"]
+
+
+@dataclass
+class RankingModel:
+    """Generator of monthly top-``list_size`` rankings.
+
+    Args:
+        universe_size: Total sites in the modeled web (must exceed
+            ``list_size`` so churn has somewhere to come from).
+        list_size: Length of each monthly list (the paper's 100k,
+            scaled).
+        noise_sigma: Std-dev of the per-month log-score noise; larger
+            values produce more churn.
+        seed: RNG seed.
+    """
+
+    universe_size: int
+    list_size: int
+    noise_sigma: float = 0.12
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.list_size >= self.universe_size:
+            raise ValueError("universe must be larger than the ranked list")
+        # Latent log-popularity: Zipf-ish with a small per-site jitter so
+        # neighboring ranks are genuinely contested.
+        rng = random.Random(self.seed)
+        self._base_log_score: List[float] = [
+            -math.log(rank + 1) + rng.gauss(0.0, 0.02)
+            for rank in range(self.universe_size)
+        ]
+
+    def domain(self, site_index: int) -> str:
+        """Domain of site *site_index* in the universe."""
+        return domain_name(site_index)
+
+    def monthly_ranking(self, month: int) -> List[str]:
+        """The top-``list_size`` domains for *month*, best first."""
+        rng = seeded_rng(self.seed, "month", month)
+        noisy = [
+            (self._base_log_score[i] + rng.gauss(0.0, self.noise_sigma), i)
+            for i in range(self.universe_size)
+        ]
+        noisy.sort(reverse=True)
+        return [domain_name(i) for _, i in noisy[: self.list_size]]
+
+    def monthly_rankings(self, months: Sequence[int]) -> Dict[int, List[str]]:
+        """Rankings for each month in *months*."""
+        return {month: self.monthly_ranking(month) for month in months}
+
+
+def stable_sites(
+    rankings: Dict[int, List[str]], cutoff: int
+) -> List[str]:
+    """Domains within the top *cutoff* in **every** month's ranking.
+
+    This is the paper's stable-set operation: the Stable Top 100K is
+    ``stable_sites(rankings, 100_000)``, the Stable Top 5K is
+    ``stable_sites(rankings, 5_000)``.  Order follows the first month's
+    ranking.
+    """
+    if not rankings:
+        return []
+    months = sorted(rankings)
+    surviving: Set[str] = set(rankings[months[0]][:cutoff])
+    for month in months[1:]:
+        surviving &= set(rankings[month][:cutoff])
+    first = rankings[months[0]]
+    return [d for d in first[:cutoff] if d in surviving]

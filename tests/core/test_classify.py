@@ -1,0 +1,163 @@
+"""Tests for repro.core.classify (the paper's restriction categories)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.classify import (
+    RestrictionLevel,
+    classify,
+    classify_rules,
+    explicitly_allows,
+    fully_disallows_any,
+)
+from repro.core.matcher import Rule
+
+
+class TestRestrictionLevels:
+    def test_no_robots(self):
+        assert classify(None, "GPTBot").level is RestrictionLevel.NO_ROBOTS
+
+    def test_no_restrictions_when_unnamed(self):
+        result = classify("User-agent: CCBot\nDisallow: /", "GPTBot")
+        assert result.level is RestrictionLevel.NO_RESTRICTIONS
+        assert not result.explicit
+
+    def test_fully_disallowed(self):
+        result = classify("User-agent: GPTBot\nDisallow: /", "GPTBot")
+        assert result.level is RestrictionLevel.FULL
+        assert result.explicit
+
+    def test_partially_disallowed(self):
+        result = classify("User-agent: GPTBot\nDisallow: /images/", "GPTBot")
+        assert result.level is RestrictionLevel.PARTIAL
+
+    def test_explicit_group_with_no_disallow(self):
+        result = classify("User-agent: GPTBot\nAllow: /", "GPTBot")
+        assert result.level is RestrictionLevel.NO_RESTRICTIONS
+        assert result.explicit
+        assert result.explicit_allow
+
+    def test_empty_disallow_is_no_restriction(self):
+        result = classify("User-agent: GPTBot\nDisallow:", "GPTBot")
+        assert result.level is RestrictionLevel.NO_RESTRICTIONS
+
+    def test_wildcard_not_counted_by_default(self):
+        result = classify("User-agent: *\nDisallow: /", "GPTBot")
+        assert result.level is RestrictionLevel.NO_RESTRICTIONS
+
+    def test_wildcard_counted_when_not_requiring_explicit(self):
+        result = classify(
+            "User-agent: *\nDisallow: /", "GPTBot", require_explicit=False
+        )
+        assert result.level is RestrictionLevel.FULL
+
+    def test_disallow_all_with_carveout_is_partial(self):
+        text = "User-agent: GPTBot\nDisallow: /\nAllow: /public/"
+        assert classify(text, "GPTBot").level is RestrictionLevel.PARTIAL
+
+    def test_allow_root_tie_neutralizes_disallow_root(self):
+        text = "User-agent: GPTBot\nDisallow: /\nAllow: /"
+        assert classify(text, "GPTBot").level is RestrictionLevel.NO_RESTRICTIONS
+
+    def test_wildcard_star_disallow_pattern_is_full(self):
+        text = "User-agent: GPTBot\nDisallow: /*"
+        assert classify(text, "GPTBot").level is RestrictionLevel.FULL
+
+    def test_levels_ordered(self):
+        assert (
+            RestrictionLevel.NO_ROBOTS
+            < RestrictionLevel.NO_RESTRICTIONS
+            < RestrictionLevel.PARTIAL
+            < RestrictionLevel.FULL
+        )
+
+    def test_disallows_property(self):
+        assert RestrictionLevel.FULL.disallows
+        assert RestrictionLevel.PARTIAL.disallows
+        assert not RestrictionLevel.NO_RESTRICTIONS.disallows
+        assert not RestrictionLevel.NO_ROBOTS.disallows
+
+
+class TestClassifyRules:
+    def test_empty_rules(self):
+        assert classify_rules([]) is RestrictionLevel.NO_RESTRICTIONS
+
+    def test_blanket_disallow(self):
+        assert classify_rules([Rule(False, "/")]) is RestrictionLevel.FULL
+
+    def test_path_disallow(self):
+        assert classify_rules([Rule(False, "/x/")]) is RestrictionLevel.PARTIAL
+
+    def test_allow_only(self):
+        assert classify_rules([Rule(True, "/")]) is RestrictionLevel.NO_RESTRICTIONS
+
+    def test_longer_allow_breaks_blanket(self):
+        rules = [Rule(False, "/"), Rule(True, "/ok/")]
+        assert classify_rules(rules) is RestrictionLevel.PARTIAL
+
+    def test_query_only_disallow_detected_as_partial(self):
+        assert classify_rules([Rule(False, "/*?*")]) is RestrictionLevel.PARTIAL
+
+
+class TestExplicitlyAllows:
+    def test_explicit_allow_group(self):
+        assert explicitly_allows("User-agent: GPTBot\nAllow: /", "GPTBot")
+
+    def test_wildcard_allow_not_explicit(self):
+        assert not explicitly_allows("User-agent: *\nAllow: /", "GPTBot")
+
+    def test_allow_with_disallow_elsewhere_not_counted(self):
+        text = "User-agent: GPTBot\nAllow: /\nDisallow: /private/"
+        assert not explicitly_allows(text, "GPTBot")
+
+    def test_allow_subpath_only_not_counted(self):
+        assert not explicitly_allows("User-agent: GPTBot\nAllow: /blog/", "GPTBot")
+
+    def test_disallow_only_group_not_allow(self):
+        assert not explicitly_allows("User-agent: GPTBot\nDisallow: /", "GPTBot")
+
+
+class TestFullyDisallowsAny:
+    AGENTS = ["GPTBot", "CCBot", "anthropic-ai"]
+
+    def test_none_robots(self):
+        assert not fully_disallows_any(None, self.AGENTS)
+
+    def test_one_agent_blocked(self):
+        text = "User-agent: CCBot\nDisallow: /"
+        assert fully_disallows_any(text, self.AGENTS)
+
+    def test_partial_not_counted(self):
+        text = "User-agent: CCBot\nDisallow: /img/"
+        assert not fully_disallows_any(text, self.AGENTS)
+
+    def test_wildcard_not_counted_by_default(self):
+        assert not fully_disallows_any("User-agent: *\nDisallow: /", self.AGENTS)
+
+    def test_wildcard_counted_in_ablation_mode(self):
+        assert fully_disallows_any(
+            "User-agent: *\nDisallow: /", self.AGENTS, require_explicit=False
+        )
+
+
+# -- Property-based ---------------------------------------------------------
+
+_agents = st.sampled_from(["GPTBot", "CCBot", "Bytespider", "ClaudeBot"])
+
+
+class TestClassifyProperties:
+    @given(agent=_agents)
+    def test_explicit_full_disallow_always_full(self, agent):
+        text = f"User-agent: {agent}\nDisallow: /"
+        assert classify(text, agent).level is RestrictionLevel.FULL
+
+    @given(agent=_agents, path=st.sampled_from(["/a/", "/img/", "/x"]))
+    def test_explicit_partial_never_full(self, agent, path):
+        text = f"User-agent: {agent}\nDisallow: {path}"
+        assert classify(text, agent).level is RestrictionLevel.PARTIAL
+
+    @given(agent=_agents)
+    def test_explicit_flag_matches_naming(self, agent):
+        text = "User-agent: GPTBot\nDisallow: /"
+        result = classify(text, agent)
+        assert result.explicit == (agent == "GPTBot")

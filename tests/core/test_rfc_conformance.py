@@ -1,0 +1,122 @@
+"""RFC 9309 conformance corpus.
+
+Table-driven cases adapted from the behaviors Google's open-source
+robots.txt parser documents and tests (the reference implementation the
+paper relies on): user-agent grouping and case rules, path matching
+with ``*``/``$``, percent-encoding, precedence, and the assorted
+syntactic leniencies real files depend on.
+"""
+
+import pytest
+
+from repro.core.policy import RobotsPolicy
+
+# Each case: (robots.txt, user-agent, path, expected_allowed, label)
+CASES = [
+    # -- group selection -------------------------------------------------------
+    ("User-agent: FooBot\nDisallow: /\n", "FooBot", "/x/y", False, "simple"),
+    ("User-agent: FooBot\nDisallow: /\n", "BarBot", "/x/y", True, "other agent free"),
+    ("", "FooBot", "/", True, "empty file allows"),
+    ("User-agent: *\nDisallow: /\n", "FooBot", "/x", False, "wildcard group"),
+    (
+        "User-agent: FooBot\nAllow: /\nUser-agent: *\nDisallow: /\n",
+        "FooBot", "/x", True, "specific shadows wildcard",
+    ),
+    (
+        "User-agent: FooBot\nUser-agent: BarBot\nDisallow: /\n",
+        "BarBot", "/x", False, "multi-agent group",
+    ),
+    (
+        "user-agent: foobot\ndisallow: /\n",
+        "FooBot", "/x", False, "lowercase directives and agent",
+    ),
+    (
+        "USER-AGENT: FOOBOT\nDISALLOW: /\n",
+        "FooBot", "/x", False, "uppercase directives and agent",
+    ),
+    (
+        "User-agent: FooBot\nDisallow: /a\nUser-agent: FooBot\nDisallow: /b\n",
+        "FooBot", "/b/x", False, "same-agent groups merge",
+    ),
+    (
+        "User-agent: FooBot-News\nDisallow: /\nUser-agent: FooBot\nAllow: /\n",
+        "FooBot-News", "/x", False, "longest agent token wins",
+    ),
+    # -- rules before groups / malformed -----------------------------------------
+    ("Disallow: /\n", "FooBot", "/x", True, "orphan rule ignored"),
+    (
+        "Disallow: /a\nUser-agent: FooBot\nDisallow: /b\n",
+        "FooBot", "/a/x", True, "orphan rule not inherited",
+    ),
+    ("this is garbage\nUser-agent: FooBot\nDisallow: /\n", "FooBot", "/x", False,
+     "garbage line skipped"),
+    # -- path matching ------------------------------------------------------------
+    ("User-agent: FooBot\nDisallow: /fish\n", "FooBot", "/fish.html", False, "prefix"),
+    ("User-agent: FooBot\nDisallow: /fish\n", "FooBot", "/catfish", True, "not substring"),
+    ("User-agent: FooBot\nDisallow: /fish/\n", "FooBot", "/fish", True, "dir needs slash"),
+    ("User-agent: FooBot\nDisallow: /*.php\n", "FooBot", "/x/y.php?q=1", False, "star ext"),
+    ("User-agent: FooBot\nDisallow: /*.php$\n", "FooBot", "/x.php?q=1", True, "dollar anchor"),
+    ("User-agent: FooBot\nDisallow: /fish*.php\n", "FooBot", "/fishheads/catfish.php", False,
+     "star middle"),
+    ("User-agent: FooBot\nDisallow: /a%3cd.html\n", "FooBot", "/a%3Cd.html", False,
+     "percent case-insensitive"),
+    ("User-agent: FooBot\nDisallow: /a%3Cd.html\n", "FooBot", "/a<d.html", False,
+     "encoded matches decoded"),
+    # -- precedence ------------------------------------------------------------------
+    (
+        "User-agent: FooBot\nAllow: /p\nDisallow: /\n",
+        "FooBot", "/page", True, "longer allow wins",
+    ),
+    (
+        "User-agent: FooBot\nAllow: /folder\nDisallow: /folder\n",
+        "FooBot", "/folder/page", True, "tie goes to allow",
+    ),
+    (
+        "User-agent: FooBot\nDisallow: /folder/private\nAllow: /folder\n",
+        "FooBot", "/folder/private/x", False, "longer disallow wins",
+    ),
+    (
+        "User-agent: FooBot\nAllow: /page\nDisallow: /*.html\n",
+        "FooBot", "/page.html", False, "wildcard length counts",
+    ),
+    # -- empty values -----------------------------------------------------------------
+    ("User-agent: FooBot\nDisallow:\n", "FooBot", "/x", True, "empty disallow"),
+    ("User-agent: FooBot\nAllow:\nDisallow: /\n", "FooBot", "/x", False,
+     "empty allow is no-op"),
+    # -- whitespace and comments ---------------------------------------------------------
+    ("  User-agent :  FooBot  \n  Disallow :  /  \n", "FooBot", "/x", False,
+     "whitespace tolerated"),
+    ("User-agent: FooBot # the bot\nDisallow: / # all\n", "FooBot", "/x", False,
+     "inline comments stripped"),
+    ("# intro\n\nUser-agent: FooBot\n# note\n\nDisallow: /\n", "FooBot", "/x", False,
+     "comments and blanks anywhere"),
+    # -- robots.txt itself ------------------------------------------------------------------
+    ("User-agent: *\nDisallow: /\n", "FooBot", "/robots.txt", True,
+     "robots.txt always fetchable"),
+    # -- version suffixes in crawler UA strings ------------------------------------------------
+    ("User-agent: FooBot\nDisallow: /\n", "FooBot/2.1", "/x", False,
+     "crawler version ignored"),
+    # -- sitemap interleaving -------------------------------------------------------------------
+    (
+        "User-agent: FooBot\nSitemap: https://e.com/s.xml\nDisallow: /\n",
+        "FooBot", "/x", False, "sitemap does not break group",
+    ),
+    # -- unknown directives skipped ----------------------------------------------------------------
+    (
+        "User-agent: FooBot\nNoindex: /x\nDisallow: /\n",
+        "FooBot", "/y", False, "unknown directive skipped",
+    ),
+    # -- $ inside pattern is literal-ish edge ------------------------------------------------------
+    ("User-agent: FooBot\nDisallow: /x$\n", "FooBot", "/x", False, "anchored exact"),
+    ("User-agent: FooBot\nDisallow: /x$\n", "FooBot", "/x/y", True, "anchored rejects longer"),
+]
+
+
+@pytest.mark.parametrize(
+    "robots,agent,path,expected,label",
+    CASES,
+    ids=[case[4] for case in CASES],
+)
+def test_rfc_conformance(robots, agent, path, expected, label):
+    policy = RobotsPolicy(robots)
+    assert policy.is_allowed(agent, path) is expected, label

@@ -1,0 +1,118 @@
+"""Tests for the Common-Crawl-style snapshot crawler."""
+
+from repro.crawlers.commoncrawl import (
+    SNAPSHOT_SPECS,
+    SnapshotCrawler,
+    month_label,
+)
+from repro.net.server import Website
+from repro.net.transport import Network
+from repro.proxy.reverse_proxy import ReverseProxy
+from repro.proxy.rules import RuleSet
+
+
+def make_net():
+    net = Network()
+    with_robots = Website("a.com")
+    with_robots.set_robots_txt("User-agent: GPTBot\nDisallow: /")
+    with_robots.add_page("/", "<p>a</p>")
+    net.register(with_robots)
+
+    without_robots = Website("b.com")
+    without_robots.add_page("/", "<p>b</p>")
+    net.register(without_robots)
+
+    blocker_origin = Website("c.com")
+    blocker_origin.set_robots_txt("User-agent: *\nDisallow:")
+    proxy = ReverseProxy(
+        blocker_origin, RuleSet.blocking_user_agents(["CCBot"]), "WAF"
+    )
+    net.register(proxy)
+    return net
+
+
+class TestMonthLabel:
+    def test_origin(self):
+        assert month_label(0) == "2022-10"
+
+    def test_year_rollover(self):
+        assert month_label(3) == "2023-01"
+
+    def test_end_of_window(self):
+        assert month_label(24) == "2024-10"
+
+
+class TestSnapshotSpecs:
+    def test_fifteen_snapshots(self):
+        assert len(SNAPSHOT_SPECS) == 15
+
+    def test_monotonic_months(self):
+        months = [s.month_index for s in SNAPSHOT_SPECS]
+        assert months == sorted(months)
+        assert months[0] == 0 and months[-1] == 24
+
+    def test_ids_unique(self):
+        ids = [s.snapshot_id for s in SNAPSHOT_SPECS]
+        assert len(set(ids)) == 15
+
+
+class TestSnapshotCrawler:
+    def test_robots_captured(self):
+        crawler = SnapshotCrawler(make_net())
+        snap = crawler.snapshot(SNAPSHOT_SPECS[0], ["a.com", "b.com", "c.com"])
+        assert snap.records["a.com"].ok
+        assert "GPTBot" in snap.records["a.com"].robots_txt
+
+    def test_missing_robots_recorded_as_404(self):
+        crawler = SnapshotCrawler(make_net())
+        snap = crawler.snapshot(SNAPSHOT_SPECS[0], ["b.com"])
+        record = snap.records["b.com"]
+        assert not record.ok and record.missing
+
+    def test_active_blocker_records_403(self):
+        crawler = SnapshotCrawler(make_net())
+        snap = crawler.snapshot(SNAPSHOT_SPECS[0], ["c.com"])
+        record = snap.records["c.com"]
+        assert record.status == 403 and not record.ok
+
+    def test_unresolvable_site_records_error(self):
+        crawler = SnapshotCrawler(make_net())
+        snap = crawler.snapshot(SNAPSHOT_SPECS[0], ["ghost.com"])
+        record = snap.records["ghost.com"]
+        assert record.status == 0 and record.error
+
+    def test_sites_with_robots(self):
+        crawler = SnapshotCrawler(make_net())
+        snap = crawler.snapshot(SNAPSHOT_SPECS[0], ["a.com", "b.com", "c.com"])
+        assert snap.sites_with_robots() == ["a.com"]
+
+    def test_redirects_not_followed(self):
+        net = make_net()
+        apex = Website("apex.com")
+        apex.redirect_to_host = "www.apex.com"
+        www = Website("www.apex.com")
+        www.set_robots_txt("User-agent: *\nDisallow:")
+        net.register(apex)
+        net.register(www)
+        crawler = SnapshotCrawler(net)
+        snap = crawler.snapshot(SNAPSHOT_SPECS[0], ["apex.com", "www.apex.com"])
+        assert snap.records["apex.com"].status == 301
+        assert not snap.records["apex.com"].ok
+
+    def test_www_fallback_in_record_for(self):
+        net = make_net()
+        apex = Website("apex.com")
+        apex.redirect_to_host = "www.apex.com"
+        www = Website("www.apex.com")
+        www.set_robots_txt("User-agent: *\nDisallow:")
+        net.register(apex)
+        net.register(www)
+        crawler = SnapshotCrawler(net)
+        snap = crawler.snapshot(SNAPSHOT_SPECS[0], ["apex.com", "www.apex.com"])
+        record = snap.record_for("apex.com")
+        assert record is not None and record.ok
+
+    def test_dedup_prefers_latest_non_error(self):
+        crawler = SnapshotCrawler(make_net(), visits_per_site=3)
+        snap = crawler.snapshot(SNAPSHOT_SPECS[0], ["a.com"])
+        assert snap.records["a.com"].ok

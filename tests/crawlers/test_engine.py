@@ -1,0 +1,365 @@
+"""Tests for the crawl engine and behavior profiles."""
+
+import pytest
+
+from repro.crawlers.engine import Crawler
+from repro.crawlers.profiles import CrawlerProfile, RobotsBehavior
+from repro.net.server import Website, render_page
+from repro.net.transport import Network
+
+
+def make_world(robots=None):
+    net = Network()
+    site = Website("target.com")
+    site.add_page("/", render_page("Home", links=["/a", "/b"]))
+    site.add_page("/a", render_page("A", links=["/a/deep"]))
+    site.add_page("/a/deep", render_page("Deep"))
+    site.add_page("/b", render_page("B"))
+    if robots is not None:
+        site.set_robots_txt(robots)
+    net.register(site)
+    return net, site
+
+
+class TestRobotsBehaviorEnum:
+    def test_ever_fetches(self):
+        assert RobotsBehavior.FETCH_AND_OBEY.ever_fetches
+        assert RobotsBehavior.FETCH_AND_IGNORE.ever_fetches
+        assert RobotsBehavior.BUGGY_FETCH.ever_fetches
+        assert not RobotsBehavior.NO_FETCH.ever_fetches
+
+    def test_obeys(self):
+        assert RobotsBehavior.FETCH_AND_OBEY.obeys
+        assert RobotsBehavior.INTERMITTENT_FETCH.obeys
+        assert not RobotsBehavior.FETCH_AND_IGNORE.obeys
+        assert not RobotsBehavior.NO_FETCH.obeys
+
+
+class TestProfileDefaults:
+    def test_source_ip_assigned_from_range(self):
+        profile = CrawlerProfile.respectful("GPTBot")
+        assert profile.source_ip.startswith("100.64.13.")
+
+    def test_factories(self):
+        assert CrawlerProfile.respectful("X").behavior is RobotsBehavior.FETCH_AND_OBEY
+        assert CrawlerProfile.defiant("X").behavior is RobotsBehavior.FETCH_AND_IGNORE
+        assert CrawlerProfile.oblivious("X").behavior is RobotsBehavior.NO_FETCH
+
+
+class TestObedientCrawler:
+    def test_fetches_robots_first(self):
+        net, site = make_world("User-agent: *\nDisallow:")
+        crawler = Crawler(CrawlerProfile.respectful("TestBot"), net)
+        crawler.crawl("target.com")
+        paths = [e.path for e in site.access_log]
+        assert paths[0] == "/robots.txt"
+
+    def test_respects_full_disallow(self):
+        net, site = make_world("User-agent: TestBot\nDisallow: /")
+        crawler = Crawler(CrawlerProfile.respectful("TestBot"), net)
+        result = crawler.crawl("target.com")
+        assert result.content_fetches == []
+        assert "/" in result.skipped
+        assert not site.access_log.fetched_content("TestBot")
+
+    def test_respects_partial_disallow(self):
+        net, site = make_world("User-agent: *\nDisallow: /a")
+        crawler = Crawler(CrawlerProfile.respectful("TestBot"), net)
+        result = crawler.crawl("target.com")
+        assert "/" in result.content_fetches
+        assert "/b" in result.content_fetches
+        assert "/a" not in result.content_fetches
+        assert "/a" in result.skipped
+
+    def test_crawls_everything_without_robots(self):
+        net, site = make_world(None)
+        crawler = Crawler(CrawlerProfile.respectful("TestBot"), net)
+        result = crawler.crawl("target.com")
+        assert set(result.content_fetches) == {"/", "/a", "/b", "/a/deep"}
+
+    def test_max_pages_budget(self):
+        net, _ = make_world(None)
+        crawler = Crawler(CrawlerProfile.respectful("TestBot"), net)
+        result = crawler.crawl("target.com", max_pages=2)
+        assert len(result.content_fetches) == 2
+
+    def test_single_fetch_respects_robots(self):
+        net, _ = make_world("User-agent: TestBot\nDisallow: /")
+        crawler = Crawler(CrawlerProfile.respectful("TestBot"), net)
+        result = crawler.fetch("target.com", "/a")
+        assert result.skipped == ["/a"]
+        assert result.content_fetches == []
+
+    def test_wildcard_group_governs_unnamed_crawler(self):
+        net, _ = make_world("User-agent: *\nDisallow: /")
+        crawler = Crawler(CrawlerProfile.respectful("RandomBot"), net)
+        assert crawler.crawl("target.com").content_fetches == []
+
+
+class TestDefiantCrawler:
+    def test_fetches_robots_but_ignores_it(self):
+        net, site = make_world("User-agent: Bytespider\nDisallow: /")
+        crawler = Crawler(
+            CrawlerProfile.defiant("Bytespider", "Bytespider"), net
+        )
+        result = crawler.crawl("target.com")
+        assert result.robots_fetched
+        assert site.access_log.fetched_robots("Bytespider")
+        assert site.access_log.fetched_content("Bytespider")
+        assert len(result.content_fetches) == 4
+
+
+class TestObliviousCrawler:
+    def test_never_touches_robots(self):
+        net, site = make_world("User-agent: *\nDisallow: /")
+        crawler = Crawler(CrawlerProfile.oblivious("Ghost"), net)
+        result = crawler.crawl("target.com")
+        assert not result.robots_fetched
+        assert not site.access_log.fetched_robots("Ghost")
+        assert len(result.content_fetches) == 4
+
+
+class TestBuggyCrawler:
+    def test_fetches_wrong_path(self):
+        net, site = make_world("User-agent: *\nDisallow: /")
+        profile = CrawlerProfile(
+            token="Buggy",
+            user_agent="BuggyBot/0.1",
+            behavior=RobotsBehavior.BUGGY_FETCH,
+        )
+        result = Crawler(profile, net).crawl("target.com")
+        # The wrong path shows in server logs but not as a robots fetch.
+        wrong = site.access_log.entries(path="/robots.txt/")
+        assert len(wrong) == 1
+        assert not site.access_log.fetched_robots("BuggyBot")
+        # And the crawler proceeds as if unrestricted.
+        assert len(result.content_fetches) == 4
+
+
+class TestIntermittentCrawler:
+    def _profile(self):
+        return CrawlerProfile(
+            token="Flaky",
+            user_agent="FlakyBot/1.0",
+            behavior=RobotsBehavior.INTERMITTENT_FETCH,
+            intermittent_period=3,
+        )
+
+    def test_fetches_only_every_nth_crawl(self):
+        net, site = make_world("User-agent: *\nDisallow:")
+        crawler = Crawler(self._profile(), net)
+        for _ in range(6):
+            crawler.fetch("target.com", "/")
+        robots_hits = site.access_log.entries(
+            user_agent_contains="FlakyBot", path="/robots.txt"
+        )
+        assert len(robots_hits) == 2  # crawls 3 and 6
+
+    def test_obeys_when_it_has_a_policy(self):
+        net, _ = make_world("User-agent: *\nDisallow: /")
+        crawler = Crawler(self._profile(), net)
+        first = crawler.fetch("target.com", "/a")   # no robots fetched yet
+        assert first.content_fetches == ["/a"]
+        second = crawler.fetch("target.com", "/a")
+        third = crawler.fetch("target.com", "/a")   # fetches robots, obeys
+        assert third.skipped == ["/a"] or second.skipped == ["/a"]
+
+
+class TestRobotsCaching:
+    def test_stale_cache_keeps_old_policy(self):
+        net, site = make_world("User-agent: *\nDisallow:")
+        profile = CrawlerProfile.respectful("Cachy", robots_cache_ttl=100.0)
+        crawler = Crawler(profile, net)
+        net.now = 0.0
+        assert crawler.fetch("target.com", "/a").content_fetches == ["/a"]
+        # Site tightens its policy; crawler cache is still warm.
+        site.set_robots_txt("User-agent: *\nDisallow: /")
+        net.now = 50.0
+        result = crawler.fetch("target.com", "/a")
+        assert result.robots_from_cache
+        assert result.content_fetches == ["/a"]
+        # After TTL expiry the new policy bites.
+        net.now = 200.0
+        result = crawler.fetch("target.com", "/a")
+        assert result.skipped == ["/a"]
+
+    def test_invalidate_cache(self):
+        net, site = make_world("User-agent: *\nDisallow:")
+        profile = CrawlerProfile.respectful("Cachy", robots_cache_ttl=1e9)
+        crawler = Crawler(profile, net)
+        crawler.fetch("target.com", "/a")
+        site.set_robots_txt("User-agent: *\nDisallow: /")
+        crawler.invalidate_robots_cache("target.com")
+        assert crawler.fetch("target.com", "/a").skipped == ["/a"]
+
+
+class TestErrorHandling:
+    def test_dns_failure_recorded(self):
+        net = Network()
+        crawler = Crawler(CrawlerProfile.respectful("X"), net)
+        result = crawler.fetch("missing.com", "/")
+        assert result.errors
+        assert result.content_fetches == []
+
+    def test_robots_transport_error_treated_as_no_policy(self):
+        net, _ = make_world("User-agent: *\nDisallow: /")
+        net.refuse_connections("target.com")
+        crawler = Crawler(CrawlerProfile.respectful("X"), net)
+        result = crawler.crawl("target.com")
+        assert result.errors
+
+
+class TestRobotsStatusSemantics:
+    """RFC 9309 section 2.3.1: 4xx vs 5xx on /robots.txt."""
+
+    def _site_with_status(self, status):
+        from repro.net.http import Response
+        from repro.net.server import Website, render_page
+
+        class StatusRobotsSite(Website):
+            def _respond(self, request):
+                if request.path_only == "/robots.txt":
+                    return Response(status=status, body="err", url=request.url)
+                return super()._respond(request)
+
+        net = Network()
+        site = StatusRobotsSite("target.com")
+        site.add_page("/", render_page("Home"))
+        net.register(site)
+        return net
+
+    def test_404_means_crawl_freely(self):
+        net = self._site_with_status(404)
+        result = Crawler(CrawlerProfile.respectful("Bot"), net).fetch("target.com", "/")
+        assert result.content_fetches == ["/"]
+
+    def test_500_means_complete_disallow(self):
+        net = self._site_with_status(500)
+        result = Crawler(CrawlerProfile.respectful("Bot"), net).fetch("target.com", "/")
+        assert result.skipped == ["/"]
+        assert result.content_fetches == []
+
+    def test_503_means_complete_disallow(self):
+        net = self._site_with_status(503)
+        result = Crawler(CrawlerProfile.respectful("Bot"), net).fetch("target.com", "/")
+        assert result.skipped == ["/"]
+
+    def test_403_default_keeps_obedient_bot_out(self):
+        net = self._site_with_status(403)
+        result = Crawler(CrawlerProfile.respectful("Bot"), net).fetch("target.com", "/")
+        assert result.skipped == ["/"]
+
+    def test_403_lenient_profile_crawls(self):
+        net = self._site_with_status(403)
+        profile = CrawlerProfile.respectful("Bot")
+        profile.forbidden_robots_means_disallow = False
+        result = Crawler(profile, net).fetch("target.com", "/")
+        assert result.content_fetches == ["/"]
+
+    def test_5xx_does_not_constrain_defiant_bot(self):
+        net = self._site_with_status(500)
+        result = Crawler(CrawlerProfile.defiant("Bad"), net).fetch("target.com", "/")
+        assert result.content_fetches == ["/"]
+
+
+class TestCrawlDelayPoliteness:
+    ROBOTS = "User-agent: *\nCrawl-delay: 10\nDisallow: /private/\n"
+
+    def _crawler(self, honors, net):
+        profile = CrawlerProfile(
+            token="SlowBot",
+            user_agent="SlowBot/1.0",
+            honors_crawl_delay=honors,
+        )
+        return Crawler(profile, net)
+
+    def test_honoring_crawler_consumes_time(self):
+        net, _ = make_world(self.ROBOTS)
+        result = self._crawler(True, net).crawl("target.com")
+        # Four pages: three inter-fetch gaps of 10s.
+        assert len(result.content_fetches) == 4
+        assert result.time_spent == 30.0
+
+    def test_budget_limits_fetches(self):
+        net, _ = make_world(self.ROBOTS)
+        result = self._crawler(True, net).crawl("target.com", time_budget=25.0)
+        # First fetch free, then 10s each: fetches at t=0,10,20.
+        assert len(result.content_fetches) == 3
+        assert result.time_spent == 20.0
+
+    def test_rfc_compliant_crawler_ignores_crawl_delay(self):
+        net, _ = make_world(self.ROBOTS)
+        result = self._crawler(False, net).crawl("target.com", time_budget=25.0)
+        assert len(result.content_fetches) == 4
+        assert result.time_spent == 0.0
+
+    def test_default_interval_applies_without_crawl_delay(self):
+        net, _ = make_world("User-agent: *\nDisallow:")
+        profile = CrawlerProfile(
+            token="Paced", user_agent="Paced/1.0", default_fetch_interval=5.0
+        )
+        result = Crawler(profile, net).crawl("target.com", time_budget=11.0)
+        assert len(result.content_fetches) == 3  # t=0, 5, 10
+
+    def test_crawl_delay_exceeding_budget_fetches_one_page(self):
+        net, _ = make_world("User-agent: *\nCrawl-delay: 100\nDisallow: /x/")
+        result = self._crawler(True, net).crawl("target.com", time_budget=50.0)
+        assert len(result.content_fetches) == 1
+
+
+class TestConditionalRevalidation:
+    def _crawler(self, net, ttl=100.0):
+        profile = CrawlerProfile.respectful(
+            "Revalidator", robots_cache_ttl=ttl
+        )
+        profile.revalidates_robots = True
+        return Crawler(profile, net)
+
+    def test_304_on_unchanged_robots(self):
+        net, site = make_world("User-agent: *\nDisallow: /a\n")
+        crawler = self._crawler(net)
+        net.now = 0.0
+        crawler.fetch("target.com", "/b")
+        net.now = 200.0  # past TTL -> revalidate
+        result = crawler.fetch("target.com", "/b")
+        robots_hits = [s for p, s in result.fetched if p == "/robots.txt"]
+        assert robots_hits == [304]
+        assert result.robots_from_cache
+        # Policy still enforced from cache.
+        assert crawler.fetch("target.com", "/a").skipped == ["/a"]
+
+    def test_changed_robots_returns_fresh_200(self):
+        net, site = make_world("User-agent: *\nDisallow: /a\n")
+        crawler = self._crawler(net)
+        net.now = 0.0
+        crawler.fetch("target.com", "/b")
+        site.set_robots_txt("User-agent: *\nDisallow: /\n")
+        net.now = 200.0
+        result = crawler.fetch("target.com", "/b")
+        robots_hits = [s for p, s in result.fetched if p == "/robots.txt"]
+        assert robots_hits == [200]
+        assert result.skipped == ["/b"]  # new policy applied immediately
+
+    def test_server_emits_etag_and_304(self):
+        from repro.net.http import Request
+
+        net, site = make_world("User-agent: *\nDisallow:\n")
+        first = net.request(Request(host="target.com", path="/robots.txt"))
+        etag = first.headers["ETag"]
+        second = net.request(
+            Request(host="target.com", path="/robots.txt",
+                    headers={"If-None-Match": etag})
+        )
+        assert second.status == 304
+        assert second.content_length == 0
+
+    def test_non_revalidating_crawler_refetches_fully(self):
+        net, site = make_world("User-agent: *\nDisallow: /a\n")
+        profile = CrawlerProfile.respectful("Plain", robots_cache_ttl=100.0)
+        crawler = Crawler(profile, net)
+        net.now = 0.0
+        crawler.fetch("target.com", "/b")
+        net.now = 200.0
+        result = crawler.fetch("target.com", "/b")
+        robots_hits = [s for p, s in result.fetched if p == "/robots.txt"]
+        assert robots_hits == [200]

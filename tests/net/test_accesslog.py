@@ -1,0 +1,87 @@
+"""Tests for repro.net.accesslog."""
+
+from repro.net.accesslog import AccessLog, LogEntry, format_clf, parse_clf_line
+
+
+def entry(path="/", ua="GPTBot/1.1", ip="1.2.3.4", status=200, ts=0.0):
+    return LogEntry(
+        timestamp=ts,
+        client_ip=ip,
+        method="GET",
+        path=path,
+        status=status,
+        body_bytes=100,
+        user_agent=ua,
+    )
+
+
+class TestLogEntry:
+    def test_is_robots_fetch(self):
+        assert entry("/robots.txt").is_robots_fetch
+        assert entry("/robots.txt?x=1").is_robots_fetch
+        assert not entry("/page").is_robots_fetch
+
+
+class TestAccessLog:
+    def _log(self):
+        log = AccessLog()
+        log.append(entry("/robots.txt", "GPTBot/1.1"))
+        log.append(entry("/page", "GPTBot/1.1"))
+        log.append(entry("/page", "Bytespider", ip="5.6.7.8"))
+        return log
+
+    def test_len_and_iter(self):
+        log = self._log()
+        assert len(log) == 3
+        assert len(list(log)) == 3
+
+    def test_filter_by_ua_substring_case_insensitive(self):
+        assert len(self._log().entries(user_agent_contains="gptbot")) == 2
+
+    def test_filter_by_path(self):
+        assert len(self._log().entries(path="/page")) == 2
+
+    def test_filter_by_predicate(self):
+        hits = self._log().entries(predicate=lambda e: e.client_ip == "5.6.7.8")
+        assert len(hits) == 1
+
+    def test_fetched_robots_and_content(self):
+        log = self._log()
+        assert log.fetched_robots("GPTBot")
+        assert log.fetched_content("GPTBot")
+        assert not log.fetched_robots("Bytespider")
+        assert log.fetched_content("Bytespider")
+
+    def test_content_paths(self):
+        assert self._log().content_paths("GPTBot") == ["/page"]
+
+    def test_user_agents_seen_order(self):
+        assert self._log().user_agents_seen() == ["GPTBot/1.1", "Bytespider"]
+
+    def test_ips_for(self):
+        assert self._log().ips_for("Bytespider") == ["5.6.7.8"]
+
+    def test_clear(self):
+        log = self._log()
+        log.clear()
+        assert len(log) == 0
+
+
+class TestClfRoundTrip:
+    def test_format_and_parse(self):
+        original = entry("/a/b?q=1", "Mozilla/5.0 (compatible; GPTBot/1.1)", ts=17.0)
+        parsed = parse_clf_line(format_clf(original))
+        assert parsed is not None
+        assert parsed.client_ip == original.client_ip
+        assert parsed.path == original.path
+        assert parsed.status == original.status
+        assert parsed.user_agent == original.user_agent
+        assert parsed.timestamp == 17.0
+
+    def test_parse_garbage_returns_none(self):
+        assert parse_clf_line("not a log line") is None
+
+    def test_parse_dash_size(self):
+        line = '1.2.3.4 - - [0] "GET / HTTP/1.1" 301 - "-" "bot"'
+        parsed = parse_clf_line(line)
+        assert parsed is not None and parsed.body_bytes == 0

@@ -1,0 +1,56 @@
+"""Integration tests: serving simulated sites over real TCP sockets."""
+
+from repro.net.realserver import RealHttpServer, fetch_real
+from repro.net.server import Website, render_page
+
+
+def make_site():
+    site = Website("testbed.local")
+    site.add_page("/", render_page("Testbed", links=["/page1"]))
+    site.add_page("/page1", render_page("Page 1"))
+    site.set_robots_txt("User-agent: *\nDisallow: /\n")
+    return site
+
+
+class TestRealHttpServer:
+    def test_serves_pages_over_tcp(self):
+        site = make_site()
+        with RealHttpServer(site) as server:
+            response = fetch_real(f"http://{server.address}/", user_agent="IntTest/1.0")
+        assert response.ok
+        assert "Testbed" in response.text
+
+    def test_serves_robots_txt(self):
+        site = make_site()
+        with RealHttpServer(site) as server:
+            response = fetch_real(f"http://{server.address}/robots.txt")
+        assert response.ok
+        assert "Disallow: /" in response.text
+
+    def test_404_for_missing_page(self):
+        with RealHttpServer(make_site()) as server:
+            response = fetch_real(f"http://{server.address}/missing")
+        assert response.status == 404
+
+    def test_user_agent_reaches_access_log(self):
+        site = make_site()
+        with RealHttpServer(site) as server:
+            fetch_real(f"http://{server.address}/page1", user_agent="GPTBot/1.1")
+        assert site.access_log.fetched_content("GPTBot")
+        entries = site.access_log.entries(user_agent_contains="GPTBot")
+        assert entries[0].client_ip == "127.0.0.1"
+
+    def test_host_header_routes_virtual_host(self):
+        site = make_site()
+        with RealHttpServer(site) as server:
+            response = fetch_real(
+                f"http://{server.address}/", host_header="testbed.local"
+            )
+        assert response.ok
+
+    def test_multiple_sequential_requests(self):
+        site = make_site()
+        with RealHttpServer(site) as server:
+            for _ in range(5):
+                assert fetch_real(f"http://{server.address}/").ok
+        assert len(site.access_log) == 5

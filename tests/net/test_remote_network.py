@@ -1,0 +1,94 @@
+"""Transport equivalence: the same experiment over TCP and in memory.
+
+The in-memory Network and the RealHttpServer/RemoteNetwork bridge must
+be interchangeable: a crawler built against one behaves identically
+over the other.  These tests run the Section 5 passive compliance
+measurement end to end over genuine localhost sockets and compare with
+the in-memory run.
+"""
+
+import pytest
+
+from repro.agents.darkvisitors import AI_USER_AGENT_TOKENS
+from repro.crawlers.engine import Crawler
+from repro.crawlers.profiles import CrawlerProfile
+from repro.measure.compliance import (
+    WILDCARD_HOST,
+    analyze_passive,
+    build_testbed,
+)
+from repro.net.realserver import NetworkHandler, RealHttpServer, RemoteNetwork
+
+
+@pytest.fixture()
+def tcp_testbed():
+    testbed = build_testbed(AI_USER_AGENT_TOKENS)
+    gateway = NetworkHandler(testbed.network)
+    with RealHttpServer(gateway) as server:
+        yield testbed, RemoteNetwork(server.address)
+
+
+class TestRemoteNetwork:
+    def test_virtual_hosts_over_one_socket(self, tcp_testbed):
+        testbed, remote = tcp_testbed
+        from repro.net.http import Request
+
+        for host in (WILDCARD_HOST, "testbed-peragent.example"):
+            response = remote.request(Request(host=host, path="/robots.txt"))
+            assert response.status == 200, host
+            assert "Disallow" in response.text
+
+    def test_client_ip_forwarded(self, tcp_testbed):
+        testbed, remote = tcp_testbed
+        from repro.net.http import Request
+
+        remote.request(
+            Request(
+                host=WILDCARD_HOST,
+                path="/",
+                headers={"User-Agent": "IPCheck/1.0"},
+                client_ip="100.64.13.7",
+            )
+        )
+        entries = testbed.wildcard_site.access_log.entries(
+            user_agent_contains="IPCheck"
+        )
+        assert entries[0].client_ip == "100.64.13.7"
+
+
+class TestComplianceOverTcp:
+    def test_passive_verdicts_match_in_memory_run(self, tcp_testbed):
+        testbed, remote = tcp_testbed
+
+        # Run a reduced fleet over the TCP transport.
+        profiles = [
+            CrawlerProfile.respectful("GPTBot"),
+            CrawlerProfile.respectful("CCBot"),
+            CrawlerProfile.defiant("Bytespider", "Bytespider"),
+        ]
+        for profile in profiles:
+            Crawler(profile, remote).crawl(WILDCARD_HOST)
+
+        tcp_verdicts = analyze_passive(testbed, ["GPTBot", "CCBot", "Bytespider"])
+
+        # Same fleet, fresh in-memory testbed.
+        memory = build_testbed(AI_USER_AGENT_TOKENS)
+        for profile in profiles:
+            Crawler(
+                CrawlerProfile(
+                    token=profile.token,
+                    user_agent=profile.user_agent,
+                    behavior=profile.behavior,
+                ),
+                memory.network,
+            ).crawl(WILDCARD_HOST)
+        memory_verdicts = analyze_passive(memory, ["GPTBot", "CCBot", "Bytespider"])
+
+        for token in ("GPTBot", "CCBot", "Bytespider"):
+            assert (
+                tcp_verdicts[token].respects is memory_verdicts[token].respects
+            ), token
+            assert (
+                tcp_verdicts[token].fetched_robots
+                == memory_verdicts[token].fetched_robots
+            ), token

@@ -1,0 +1,222 @@
+"""Tests for Website, Network, and HttpClient."""
+
+import pytest
+
+from repro.net.client import HttpClient
+from repro.net.errors import (
+    ConnectionRefused,
+    ConnectionReset,
+    DNSFailure,
+    TooManyRedirects,
+)
+from repro.net.http import Request
+from repro.net.server import Website, extract_links, render_page
+from repro.net.transport import Network
+
+
+def make_site(host="example.com"):
+    site = Website(host)
+    site.add_page("/", render_page("Home", links=["/about", "/art/one"]))
+    site.add_page("/about", render_page("About"))
+    site.add_page("/art/one", render_page("Art", images=["/img/1.png"]))
+    return site
+
+
+class TestRenderAndLinks:
+    def test_links_extracted_in_order(self):
+        html = render_page("T", links=["/a", "/b"])
+        assert extract_links(html) == ["/a", "/b"]
+
+    def test_meta_robots_rendered(self):
+        html = render_page("T", meta_robots="noai, noimageai")
+        assert '<meta name="robots" content="noai, noimageai">' in html
+
+    def test_no_meta_by_default(self):
+        assert "<meta" not in render_page("T")
+
+
+class TestWebsite:
+    def test_page_served(self):
+        site = make_site()
+        response = site.handle(Request(host="example.com", path="/about"))
+        assert response.ok
+        assert "About" in response.text
+
+    def test_missing_page_404(self):
+        assert make_site().handle(Request(host="example.com", path="/nope")).status == 404
+
+    def test_robots_txt_404_when_absent(self):
+        site = make_site()
+        assert site.handle(Request(host="example.com", path="/robots.txt")).status == 404
+
+    def test_robots_txt_served_as_plain_text(self):
+        site = make_site()
+        site.set_robots_txt("User-agent: *\nDisallow: /")
+        response = site.handle(Request(host="example.com", path="/robots.txt"))
+        assert response.ok
+        assert "Disallow" in response.text
+        assert response.headers["Content-Type"].startswith("text/plain")
+
+    def test_robots_txt_removable(self):
+        site = make_site()
+        site.set_robots_txt("User-agent: *\nDisallow: /")
+        site.set_robots_txt(None)
+        assert site.handle(Request(host="example.com", path="/robots.txt")).status == 404
+
+    def test_head_omits_body(self):
+        site = make_site()
+        response = site.handle(Request(host="example.com", path="/", method="HEAD"))
+        assert response.ok and response.content_length == 0
+
+    def test_redirect_host(self):
+        site = make_site()
+        site.redirect_to_host = "www.example.com"
+        response = site.handle(Request(host="example.com", path="/a"))
+        assert response.status == 301
+        assert response.headers["Location"] == "https://www.example.com/a"
+
+    def test_requests_logged(self):
+        site = make_site()
+        site.handle(Request(host="example.com", path="/", headers={"User-Agent": "GPTBot/1.1"}))
+        site.handle(Request(host="example.com", path="/robots.txt", headers={"User-Agent": "GPTBot/1.1"}))
+        assert len(site.access_log) == 2
+        assert site.access_log.fetched_robots("GPTBot")
+        assert site.access_log.fetched_content("GPTBot")
+
+    def test_invalid_page_path_rejected(self):
+        with pytest.raises(ValueError):
+            make_site().add_page("no-slash", "x")
+
+
+class TestNetwork:
+    def test_routing(self):
+        net = Network()
+        net.register(make_site("a.com"))
+        net.register(make_site("b.com"))
+        assert net.request(Request(host="a.com")).ok
+        assert net.request(Request(host="B.COM")).ok
+
+    def test_unknown_host_raises_dns_failure(self):
+        with pytest.raises(DNSFailure):
+            Network().request(Request(host="nope.com"))
+
+    def test_failure_injection(self):
+        net = Network()
+        net.register(make_site("a.com"))
+        net.refuse_connections("a.com")
+        with pytest.raises(ConnectionRefused):
+            net.request(Request(host="a.com"))
+        net.clear_failure("a.com")
+        assert net.request(Request(host="a.com")).ok
+
+    def test_reset_injection(self):
+        net = Network()
+        net.reset_connections("x.com")
+        with pytest.raises(ConnectionReset):
+            net.request(Request(host="x.com"))
+
+    def test_clock_propagates_to_site_logs(self):
+        net = Network()
+        site = make_site("a.com")
+        net.register(site)
+        net.now = 42.0
+        net.request(Request(host="a.com"))
+        assert list(site.access_log)[0].timestamp == 42.0
+
+    def test_unregister(self):
+        net = Network()
+        net.register(make_site("a.com"))
+        net.unregister("a.com")
+        assert "a.com" not in net
+
+
+class TestHttpClient:
+    def _net(self):
+        net = Network()
+        net.register(make_site("example.com"))
+        return net
+
+    def test_get(self):
+        client = HttpClient(self._net(), user_agent="TestBot/1.0")
+        response = client.get("https://example.com/about")
+        assert response.ok
+        assert response.url == "https://example.com/about"
+
+    def test_user_agent_override(self):
+        net = self._net()
+        client = HttpClient(net, user_agent="Default/1.0")
+        client.get("https://example.com/", user_agent="Special/2.0")
+        site = net.handler_for("example.com")
+        assert site.access_log.user_agents_seen() == ["Special/2.0"]
+
+    def test_redirect_followed(self):
+        net = self._net()
+        apex = Website("example.org")
+        apex.redirect_to_host = "example.com"
+        net.register(apex)
+        response = HttpClient(net).get("https://example.org/about")
+        assert response.ok
+        assert "About" in response.text
+
+    def test_redirect_not_followed_when_disabled(self):
+        net = self._net()
+        apex = Website("example.org")
+        apex.redirect_to_host = "example.com"
+        net.register(apex)
+        response = HttpClient(net, follow_redirects=False).get("https://example.org/x")
+        assert response.status == 301
+
+    def test_redirect_loop_raises(self):
+        net = Network()
+        a = Website("a.com")
+        a.redirect_to_host = "b.com"
+        b = Website("b.com")
+        b.redirect_to_host = "a.com"
+        net.register(a)
+        net.register(b)
+        with pytest.raises(TooManyRedirects):
+            HttpClient(net, max_redirects=3).get("https://a.com/")
+
+    def test_get_robots_txt_helper(self):
+        net = self._net()
+        net.handler_for("example.com").set_robots_txt("User-agent: *\nDisallow:")
+        assert HttpClient(net).get_robots_txt("example.com").ok
+
+    def test_head(self):
+        response = HttpClient(self._net()).head("https://example.com/")
+        assert response.ok and response.content_length == 0
+
+
+class TestFlakyInjectionAndRetries:
+    def _net(self):
+        net = Network()
+        net.register(make_site("example.com"))
+        return net
+
+    def test_flaky_heals_after_n_failures(self):
+        net = self._net()
+        net.inject_flaky("example.com", failures=2)
+        for _ in range(2):
+            with pytest.raises(ConnectionReset):
+                net.request(Request(host="example.com"))
+        assert net.request(Request(host="example.com")).ok
+
+    def test_client_retries_through_transient_failures(self):
+        net = self._net()
+        net.inject_flaky("example.com", failures=2)
+        client = HttpClient(net, retries=3)
+        assert client.get("https://example.com/about").ok
+
+    def test_client_gives_up_when_retries_exhausted(self):
+        net = self._net()
+        net.inject_flaky("example.com", failures=5)
+        client = HttpClient(net, retries=1)
+        with pytest.raises(ConnectionReset):
+            client.get("https://example.com/")
+
+    def test_dns_failure_not_retried(self):
+        from repro.net.errors import DNSFailure
+
+        client = HttpClient(Network(), retries=5)
+        with pytest.raises(DNSFailure):
+            client.get("https://ghost.example/")

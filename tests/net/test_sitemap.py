@@ -1,0 +1,127 @@
+"""Tests for sitemap generation, parsing, and crawler discovery."""
+
+from repro.crawlers.engine import Crawler
+from repro.crawlers.profiles import CrawlerProfile
+from repro.net.server import Website, render_page
+from repro.net.sitemap import (
+    SitemapEntry,
+    discover_sitemap_urls,
+    parse_sitemap,
+    render_sitemap,
+    render_sitemap_index,
+)
+from repro.net.transport import Network
+
+
+def make_site():
+    site = Website("maps.example")
+    site.add_page("/", render_page("Home"))
+    site.add_page("/hidden/deep", render_page("Deep"))   # unlinked!
+    site.add_page("/hidden/other", render_page("Other"))
+    site.add_page(
+        "/sitemap.xml",
+        render_sitemap(
+            [
+                SitemapEntry("https://maps.example/hidden/deep", lastmod="2024-10-01"),
+                SitemapEntry("https://maps.example/hidden/other", priority=0.5),
+                SitemapEntry("https://elsewhere.example/foreign"),
+            ]
+        ),
+        content_type="application/xml",
+    )
+    site.set_robots_txt(
+        "User-agent: *\nDisallow:\nSitemap: https://maps.example/sitemap.xml\n"
+    )
+    net = Network()
+    net.register(site)
+    return net, site
+
+
+class TestRendering:
+    def test_urlset_fields(self):
+        xml = render_sitemap([SitemapEntry("https://e.com/a", "2024-01-01", 0.8)])
+        assert "<loc>https://e.com/a</loc>" in xml
+        assert "<lastmod>2024-01-01</lastmod>" in xml
+        assert "<priority>0.8</priority>" in xml
+
+    def test_index(self):
+        xml = render_sitemap_index(["https://e.com/s1.xml"])
+        assert "<sitemapindex" in xml and "s1.xml" in xml
+
+
+class TestParsing:
+    def test_urlset(self):
+        parsed = parse_sitemap(render_sitemap([SitemapEntry("https://e.com/a")]))
+        assert not parsed.is_index
+        assert parsed.urls == ["https://e.com/a"]
+
+    def test_index_detected(self):
+        parsed = parse_sitemap(render_sitemap_index(["https://e.com/s.xml"]))
+        assert parsed.is_index
+
+    def test_malformed_tolerated(self):
+        parsed = parse_sitemap("<urlset><url><loc> https://e.com/x </loc>")
+        assert parsed.urls == ["https://e.com/x"]
+
+    def test_garbage_yields_nothing(self):
+        assert parse_sitemap("not xml at all").urls == []
+
+
+class TestDiscovery:
+    def test_paths_resolved_same_host_only(self):
+        net, _ = make_site()
+        paths = discover_sitemap_urls(
+            net, "maps.example", ["https://maps.example/sitemap.xml"]
+        )
+        assert paths == ["/hidden/deep", "/hidden/other"]
+
+    def test_index_followed(self):
+        net, site = make_site()
+        site.add_page(
+            "/sitemap_index.xml",
+            render_sitemap_index(["https://maps.example/sitemap.xml"]),
+            content_type="application/xml",
+        )
+        paths = discover_sitemap_urls(
+            net, "maps.example", ["https://maps.example/sitemap_index.xml"]
+        )
+        assert "/hidden/deep" in paths
+
+    def test_missing_sitemap_ignored(self):
+        net, _ = make_site()
+        assert discover_sitemap_urls(net, "maps.example", ["https://maps.example/nope.xml"]) == []
+
+    def test_loop_bounded(self):
+        net, site = make_site()
+        site.add_page(
+            "/loop.xml",
+            render_sitemap_index(["https://maps.example/loop.xml"]),
+            content_type="application/xml",
+        )
+        assert discover_sitemap_urls(net, "maps.example", ["https://maps.example/loop.xml"]) == []
+
+
+class TestCrawlerIntegration:
+    def test_sitemap_crawler_finds_unlinked_pages(self):
+        net, _ = make_site()
+        profile = CrawlerProfile.respectful("SearchBot")
+        profile.use_sitemaps = True
+        result = Crawler(profile, net).crawl("maps.example")
+        assert "/hidden/deep" in result.content_fetches
+
+    def test_non_sitemap_crawler_misses_them(self):
+        net, _ = make_site()
+        result = Crawler(CrawlerProfile.respectful("PlainBot"), net).crawl("maps.example")
+        assert "/hidden/deep" not in result.content_fetches
+
+    def test_sitemap_paths_still_robots_checked(self):
+        net, site = make_site()
+        site.set_robots_txt(
+            "User-agent: *\nDisallow: /hidden/\n"
+            "Sitemap: https://maps.example/sitemap.xml\n"
+        )
+        profile = CrawlerProfile.respectful("SearchBot")
+        profile.use_sitemaps = True
+        result = Crawler(profile, net).crawl("maps.example")
+        assert "/hidden/deep" not in result.content_fetches
+        assert "/hidden/deep" in result.skipped

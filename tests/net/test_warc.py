@@ -1,0 +1,80 @@
+"""Tests for the mini-WARC writer/reader."""
+
+from repro.crawlers.commoncrawl import SNAPSHOT_SPECS, SiteRecord, Snapshot
+from repro.net.warc import (
+    WarcRecord,
+    parse_warc,
+    render_warc,
+    snapshot_to_warc,
+    warc_to_records,
+)
+
+
+def make_snapshot():
+    snap = Snapshot(spec=SNAPSHOT_SPECS[0])
+    snap.records["a.com"] = SiteRecord(
+        "a.com", 200, "User-agent: GPTBot\nDisallow: /\n"
+    )
+    snap.records["b.com"] = SiteRecord("b.com", 404)
+    snap.records["c.com"] = SiteRecord("c.com", 403)
+    snap.records["d.com"] = SiteRecord("d.com", 0, error="connection refused by d.com")
+    return snap
+
+
+class TestWarcFraming:
+    def test_roundtrip_single_record(self):
+        record = WarcRecord(
+            record_type="response",
+            headers={"WARC-Target-URI": "https://a.com/robots.txt"},
+            block="hello\r\n\r\nworld",
+        )
+        (parsed,) = parse_warc(render_warc([record]))
+        assert parsed.record_type == "response"
+        assert parsed.target_uri == "https://a.com/robots.txt"
+        assert parsed.block == "hello\r\n\r\nworld"
+
+    def test_multiple_records_in_order(self):
+        records = [
+            WarcRecord("warcinfo", block="info"),
+            WarcRecord("response", block="r1"),
+            WarcRecord("response", block="r2"),
+        ]
+        parsed = parse_warc(render_warc(records))
+        assert [r.record_type for r in parsed] == ["warcinfo", "response", "response"]
+        assert [r.block for r in parsed] == ["info", "r1", "r2"]
+
+    def test_unicode_block_lengths(self):
+        record = WarcRecord("response", block="héllo wörld ünïcode")
+        (parsed,) = parse_warc(render_warc([record]))
+        assert parsed.block == "héllo wörld ünïcode"
+
+    def test_empty_input(self):
+        assert parse_warc("") == []
+
+
+class TestSnapshotWarc:
+    def test_roundtrip_preserves_records(self):
+        snap = make_snapshot()
+        text = snapshot_to_warc(snap)
+        records = {r.domain: r for r in warc_to_records(text)}
+        assert records["a.com"].ok
+        assert records["a.com"].robots_txt == "User-agent: GPTBot\nDisallow: /\n"
+        assert records["b.com"].missing
+        assert records["c.com"].status == 403
+        assert records["d.com"].status == 0
+        assert "refused" in records["d.com"].error
+
+    def test_warcinfo_carries_snapshot_metadata(self):
+        text = snapshot_to_warc(make_snapshot())
+        (info,) = [r for r in parse_warc(text) if r.record_type == "warcinfo"]
+        assert SNAPSHOT_SPECS[0].snapshot_id in info.block
+
+    def test_classification_survives_roundtrip(self):
+        from repro.core.classify import RestrictionLevel, classify
+
+        text = snapshot_to_warc(make_snapshot())
+        records = {r.domain: r for r in warc_to_records(text)}
+        assert (
+            classify(records["a.com"].robots_txt, "GPTBot").level
+            is RestrictionLevel.FULL
+        )

@@ -1,0 +1,105 @@
+"""Tests for survey cross-tabulations and chi-square analysis."""
+
+import pytest
+
+from repro.survey.crosstabs import (
+    ContingencyTable,
+    actions_by_impact,
+    awareness_by_professional,
+    build_contingency,
+    chi_square,
+    intent_by_familiarity,
+)
+from repro.survey.respondents import Respondent, filter_valid, generate_respondents
+
+
+@pytest.fixture(scope="module")
+def pool():
+    return filter_valid(generate_respondents(seed=42))
+
+
+class TestContingencyTable:
+    def _table(self):
+        return ContingencyTable(["a", "b"], ["x", "y"], [[10, 30], [20, 40]])
+
+    def test_totals(self):
+        table = self._table()
+        assert table.total == 100
+        assert table.row_totals() == [40, 60]
+        assert table.col_totals() == [30, 70]
+
+    def test_proportions(self):
+        props = self._table().proportions_by_row()
+        assert props[0] == [0.25, 0.75]
+        assert props[1] == pytest.approx([1 / 3, 2 / 3])
+
+    def test_zero_row_safe(self):
+        table = ContingencyTable(["a"], ["x", "y"], [[0, 0]])
+        assert table.proportions_by_row() == [[0.0, 0.0]]
+
+
+class TestBuildContingency:
+    def test_skips_unmapped(self):
+        respondents = [
+            Respondent(rid=0, answers={"k": "a", "v": "x"}),
+            Respondent(rid=1, answers={"k": "weird", "v": "x"}),
+            Respondent(rid=2, answers={"k": "a"}),
+        ]
+        table = build_contingency(
+            respondents,
+            row_of=lambda r: r.answers.get("k"),
+            col_of=lambda r: r.answers.get("v"),
+            row_labels=["a"],
+            col_labels=["x"],
+        )
+        assert table.counts == [[1]]
+
+
+class TestChiSquare:
+    def test_independent_table_low_statistic(self):
+        table = ContingencyTable(["a", "b"], ["x", "y"], [[50, 50], [50, 50]])
+        result = chi_square(table)
+        assert result.statistic == pytest.approx(0.0, abs=1e-9)
+        assert result.dof == 1
+        assert result.p_value is not None and result.p_value > 0.9
+
+    def test_strong_association(self):
+        table = ContingencyTable(["a", "b"], ["x", "y"], [[90, 10], [10, 90]])
+        result = chi_square(table)
+        assert result.statistic > 50
+        assert result.p_value < 1e-6
+
+    def test_degenerate_table(self):
+        table = ContingencyTable(["a"], ["x", "y"], [[5, 5]])
+        result = chi_square(table)
+        assert result.dof == 0 and result.p_value is None
+
+    def test_zero_margins_dropped(self):
+        table = ContingencyTable(
+            ["a", "b", "empty"], ["x", "y"], [[30, 10], [10, 30], [0, 0]]
+        )
+        result = chi_square(table)
+        assert result.dof == 1  # empty row dropped
+
+
+class TestCannedAnalyses:
+    def test_awareness_by_professional_covers_everyone(self, pool):
+        table = awareness_by_professional(pool)
+        assert table.total == len(pool)
+        assert sum(table.col_totals()) == 203
+        # Marginals match the paper: 84 heard / 119 never.
+        heard_total = table.col_totals()[0]
+        assert heard_total == 84
+
+    def test_intent_by_familiarity_restricted_to_never_heard(self, pool):
+        table = intent_by_familiarity(pool)
+        # Only the never-heard-and-understood group answered Q26.
+        assert table.total <= 119
+        assert table.total > 80
+
+    def test_actions_by_impact(self, pool):
+        table = actions_by_impact(pool)
+        assert table.total == len(pool)
+        result = chi_square(table)
+        assert result.dof == 1
+        assert result.p_value is not None

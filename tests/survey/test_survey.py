@@ -1,0 +1,196 @@
+"""Tests for the survey subsystem: instrument, coding, generation, analysis."""
+
+import pytest
+
+from repro.survey.analysis import analyze
+from repro.survey.coding import (
+    ACTIONS_CODEBOOK,
+    DISTRUST_CODEBOOK,
+    ENABLE_CODEBOOK,
+    NO_ADOPT_CODEBOOK,
+    code_response,
+)
+from repro.survey.instrument import SURVEY, QuestionType, question
+from repro.survey.respondents import filter_valid, generate_respondents
+
+
+@pytest.fixture(scope="module")
+def valid_pool():
+    pool = generate_respondents(seed=42)
+    return filter_valid(pool)
+
+
+@pytest.fixture(scope="module")
+def analysis(valid_pool):
+    return analyze(valid_pool)
+
+
+class TestInstrument:
+    def test_question_lookup(self):
+        assert question("Q24").qtype is QuestionType.SINGLE_CHOICE
+        with pytest.raises(KeyError):
+            question("Q99")
+
+    def test_conditional_display(self):
+        q26 = question("Q26")
+        assert q26.is_shown({"Q24": "No"})
+        assert not q26.is_shown({"Q24": "Yes"})
+
+    def test_q3_requires_income(self):
+        q3 = question("Q3")
+        assert not q3.is_shown({"Q2": "I haven't made any money from my art"})
+        assert q3.is_shown({"Q2": "My art is my main source of income"})
+
+    def test_all_qids_unique(self):
+        qids = [q.qid for q in SURVEY]
+        assert len(qids) == len(set(qids))
+
+
+class TestCodebooks:
+    def test_four_codebooks_have_paper_theme_counts(self):
+        assert len(ACTIONS_CODEBOOK.themes) == 6
+        assert len(NO_ADOPT_CODEBOOK.themes) == 5
+        assert len(ENABLE_CODEBOOK.themes) == 6
+        assert len(DISTRUST_CODEBOOK.themes) == 7
+
+    def test_code_response_matches_examples(self):
+        for codebook in (ACTIONS_CODEBOOK, NO_ADOPT_CODEBOOK, ENABLE_CODEBOOK,
+                         DISTRUST_CODEBOOK):
+            for theme in codebook.themes:
+                sample = f"{theme.example} ({theme.keywords[0]})"
+                assert theme.name in code_response(sample, codebook), (
+                    codebook.name, theme.name
+                )
+
+    def test_multi_label(self):
+        text = "They have money interests and will find a loophole to get around it"
+        codes = code_response(text, DISTRUST_CODEBOOK)
+        assert "profit" in codes and "loophole" in codes
+
+    def test_uncoded_returns_empty(self):
+        assert code_response("zzz", NO_ADOPT_CODEBOOK) == []
+
+
+class TestGenerationAndFiltering:
+    def test_filter_recovers_exactly_the_valid_pool(self, valid_pool):
+        assert len(valid_pool) == 203
+        assert all(not r.low_quality for r in valid_pool)
+
+    def test_junk_detected_without_ground_truth(self):
+        pool = generate_respondents(seed=1)
+        valid = filter_valid(pool)
+        dropped = [r for r in pool if r not in valid]
+        assert dropped
+        assert all(r.low_quality for r in dropped)
+
+    def test_deterministic(self):
+        a = generate_respondents(seed=9)
+        b = generate_respondents(seed=9)
+        assert [r.answers.get("Q5") for r in a] == [r.answers.get("Q5") for r in b]
+
+
+class TestHeadlineStatistics:
+    def test_professional_share(self, analysis):
+        assert analysis.n_professional == 136
+
+    def test_make_money_share(self, analysis):
+        assert 84 < analysis.pct_make_money < 90  # paper: 87%
+
+    def test_never_heard_rate(self, analysis):
+        assert analysis.n_never_heard == 119
+        assert 57 < analysis.pct_never_heard < 61  # paper: 59%
+
+    def test_blocking_willingness(self, analysis):
+        assert analysis.pct_would_enable_blocking > 93   # paper: >97%
+        assert analysis.pct_very_likely_blocking > 85    # paper: 93% (185/203)
+
+    def test_impact_concern(self, analysis):
+        assert analysis.pct_impact_moderate_plus > 70    # paper: 79%
+        assert analysis.pct_impact_significant_plus > 45 # paper: 54%
+
+    def test_actions(self, analysis):
+        assert analysis.n_took_action == 169
+        assert 60 < analysis.pct_glaze_among_actors < 82  # paper: 71%
+
+    def test_explainer_comprehension_and_adoption(self, analysis):
+        assert 105 <= analysis.n_understood_explainer <= 119  # paper: 113
+        assert 60 < analysis.pct_would_adopt_after_explainer < 90  # paper: 75%
+
+    def test_distrust(self, analysis):
+        assert 68 < analysis.pct_distrust_among_never_heard < 86  # paper: 77%
+
+    def test_interest_despite_distrust(self, analysis):
+        assert 30 < analysis.pct_interested_despite_distrust < 65  # paper: 47%
+
+    def test_site_owner_crosstabs(self, analysis):
+        assert analysis.n_aware_site_owners == 38
+        assert analysis.n_aware_site_owners_not_using == 27
+        assert 4 <= analysis.n_aware_no_control <= 9  # paper: 9
+
+
+class TestDemographicTables:
+    def test_table5_duration(self, analysis):
+        counts = analysis.duration_counts
+        assert counts["Less than 1 year"] == 17
+        assert counts["1-5 years"] == 68
+        assert counts["5-10 years"] == 44
+        assert counts["10 years or more"] == 47
+        assert sum(counts.values()) == 176
+
+    def test_table6_continents(self, analysis):
+        counts = analysis.continent_counts
+        assert counts["North America"] == 109
+        assert counts["Europe"] == 52
+        assert counts["Asia"] == 21
+        assert counts["South America"] == 18
+        assert counts["Africa"] == 2
+        assert counts["Oceania"] == 1
+
+    def test_table7_top_art_type_is_illustration(self, analysis):
+        counts = analysis.art_type_counts
+        assert max(counts, key=counts.get) == "Illustration"
+        assert counts["Illustration"] > counts["Digital 2D"]
+        assert counts["Digital 2D"] > counts["Concept Art"]
+
+    def test_table8_familiarity_ordering(self, analysis):
+        means = analysis.familiarity_means
+        assert means["Website"] > means["Search engine"] > means["Generative AI"]
+        assert means["Generative AI"] > means["Robots.txt"]
+        assert means["Robots.txt"] > means["Nearest diffusion tree"]
+
+    def test_table8_values_near_paper(self, analysis):
+        means = analysis.familiarity_means
+        assert abs(means["Website"] - 4.60) < 0.25
+        assert abs(means["Robots.txt"] - 1.99) < 0.35
+        assert abs(means["Nearest diffusion tree"] - 1.56) < 0.35
+
+
+class TestThemeCounts:
+    def test_distrust_themes_populated(self, analysis):
+        assert sum(analysis.distrust_theme_counts.values()) > 0
+        assert "profit" in analysis.distrust_theme_counts or analysis.distrust_theme_counts
+
+    def test_enable_themes_populated(self, analysis):
+        assert analysis.enable_theme_counts.get("protection", 0) > 0
+
+
+class TestFullInstrument:
+    def test_all_appendix_d1_questions_present(self):
+        qids = {q.qid for q in SURVEY}
+        expected = {f"Q{i}" for i in list(range(1, 14)) + list(range(15, 32))} - {
+            "Q14",  # AI-in-process question intentionally summarized out
+        }
+        # The instrument covers Q1-Q13, Q15-Q32 (Q14 folded into Q13).
+        for qid in ("Q10", "Q11", "Q12", "Q19", "Q20", "Q21", "Q28", "Q30", "Q32"):
+            assert qid in qids, qid
+
+    def test_q19_conditional_on_scraping_action(self):
+        q19 = question("Q19")
+        assert q19.is_shown({"Q18": ("Preventing my websites from being scraped",)})
+        assert not q19.is_shown({"Q18": ("Using Glaze to protect my art before posting",)})
+
+    def test_q30_requires_awareness_and_site(self):
+        q30 = question("Q30")
+        assert q30.is_shown({"Q24": "Yes", "Q8": ("Personal Website",)})
+        assert not q30.is_shown({"Q24": "No", "Q8": ("Personal Website",)})
+        assert not q30.is_shown({"Q24": "Yes", "Q8": ("Social Media",)})

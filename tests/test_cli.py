@@ -1,0 +1,152 @@
+"""Tests for the repro command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+ROBOTS = (
+    "User-agent: GPTBot\n"
+    "User-agent: CCBot\n"
+    "Disallow: /\n"
+    "\n"
+    "User-agent: *\n"
+    "Disallow: /private/\n"
+)
+
+
+@pytest.fixture()
+def robots_file(tmp_path):
+    path = tmp_path / "robots.txt"
+    path.write_text(ROBOTS)
+    return str(path)
+
+
+class TestCheck:
+    def test_disallowed_exit_code_and_output(self, robots_file, capsys):
+        code = main(["check", robots_file, "GPTBot", "/art"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "DISALLOWED" in out
+        assert "line 3" in out
+
+    def test_allowed(self, robots_file, capsys):
+        code = main(["check", robots_file, "Googlebot", "/art"])
+        assert code == 0
+        assert "ALLOWED" in capsys.readouterr().out
+
+
+class TestClassify:
+    def test_default_agent_set(self, robots_file, capsys):
+        assert main(["classify", robots_file]) == 0
+        out = capsys.readouterr().out
+        assert "GPTBot" in out and "FULL" in out
+        assert "Bytespider" in out
+
+    def test_explicit_agents(self, robots_file, capsys):
+        main(["classify", robots_file, "CCBot"])
+        out = capsys.readouterr().out
+        assert "CCBot" in out and "GPTBot" not in out
+
+    def test_wildcard_ablation_flag(self, robots_file, capsys):
+        main(["classify", robots_file, "Bytespider", "--include-wildcard"])
+        out = capsys.readouterr().out
+        assert "PARTIAL" in out  # /private/ via the wildcard group
+
+
+class TestLint:
+    def test_clean_file(self, robots_file, capsys):
+        assert main(["lint", robots_file]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_mistake_flagged_with_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "bad.txt"
+        path.write_text("User-agent: *\nDisallow: secret/\n")
+        assert main(["lint", str(path)]) == 1
+        assert "path-missing-slash" in capsys.readouterr().out
+
+
+class TestCompare:
+    def test_disagreement_reported(self, tmp_path, capsys):
+        path = tmp_path / "grouped.txt"
+        path.write_text("User-agent: GPTBot\nUser-agent: CCBot\nDisallow: /\n")
+        main(["compare", str(path), "--agents", "GPTBot", "--paths", "/x"])
+        out = capsys.readouterr().out
+        assert "differs" in out
+
+
+class TestAitxt:
+    def test_permission_check(self, tmp_path, capsys):
+        path = tmp_path / "ai.txt"
+        path.write_text("User-Agent: *\nDisallow: /\nAllow: *.jpg\n")
+        assert main(["aitxt", str(path), "/a.jpg"]) == 0
+        assert main(["aitxt", str(path), "/a.txt"]) == 1
+        assert "NOT permitted" in capsys.readouterr().out
+
+
+class TestAgents:
+    def test_registry_printed(self, capsys):
+        assert main(["agents"]) == 0
+        out = capsys.readouterr().out
+        assert "GPTBot" in out and "ByteDance" in out
+        assert out.count("\n") >= 25
+
+
+class TestExperiment:
+    def test_fast_survey_experiment(self, capsys):
+        assert main(["experiment", "survey"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 5" in out and "metrics:" in out
+
+    def test_fast_sec81(self, capsys):
+        assert main(["experiment", "sec81", "--fast"]) == 0
+        assert "mistakes" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "nope"])
+
+
+class TestServe:
+    def test_from_directory_and_serve(self, tmp_path, capsys):
+        (tmp_path / "index.html").write_text("<h1>site root</h1>")
+        (tmp_path / "robots.txt").write_text("User-agent: *\nDisallow: /tmp/\n")
+        sub = tmp_path / "blog"
+        sub.mkdir()
+        (sub / "post.html").write_text("<p>a post</p>")
+
+        import threading
+
+        from repro.net.realserver import fetch_real
+        from repro.net.server import Website
+
+        site = Website.from_directory(tmp_path)
+        assert "/index.html" in site.pages
+        assert "/" in site.pages
+        assert "/blog/post.html" in site.pages
+        assert "Disallow: /tmp/" in site.robots_txt
+
+        # Drive the serve command with a request budget so it exits.
+        from repro.net.realserver import RealHttpServer
+
+        with RealHttpServer(site) as server:
+            response = fetch_real(f"http://{server.address}/blog/post.html")
+            assert response.ok and "a post" in response.text
+            robots = fetch_real(f"http://{server.address}/robots.txt")
+            assert "Disallow" in robots.text
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_invocation(self, tmp_path):
+        import subprocess
+        import sys
+
+        robots = tmp_path / "robots.txt"
+        robots.write_text("User-agent: GPTBot\nDisallow: /\n")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "check", str(robots), "GPTBot", "/x"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert proc.returncode == 1  # disallowed
+        assert "DISALLOWED" in proc.stdout

@@ -1,0 +1,78 @@
+"""Tests for domain generation and the ranking model."""
+
+import pytest
+
+from repro.web.domains import artist_domain, domain_name, domain_names
+from repro.web.tranco import RankingModel, stable_sites
+
+
+class TestDomains:
+    def test_stable(self):
+        assert domain_name(123) == domain_name(123)
+
+    def test_unique_over_large_range(self):
+        names = domain_names(20_000)
+        assert len(set(names)) == 20_000
+
+    def test_artist_domains_unique(self):
+        names = [artist_domain(i) for i in range(1200)]
+        assert len(set(names)) == 1200
+
+    def test_look_like_domains(self):
+        for name in domain_names(50):
+            assert "." in name and " " not in name
+
+
+class TestRankingModel:
+    MODEL = RankingModel(universe_size=600, list_size=400, seed=1)
+
+    def test_list_size(self):
+        assert len(self.MODEL.monthly_ranking(0)) == 400
+
+    def test_deterministic_per_month(self):
+        assert self.MODEL.monthly_ranking(3) == self.MODEL.monthly_ranking(3)
+
+    def test_months_differ(self):
+        assert self.MODEL.monthly_ranking(0) != self.MODEL.monthly_ranking(1)
+
+    def test_churn_exists_but_is_bounded(self):
+        a = set(self.MODEL.monthly_ranking(0))
+        b = set(self.MODEL.monthly_ranking(1))
+        overlap = len(a & b) / 400
+        assert 0.8 < overlap < 1.0
+
+    def test_top_ranks_more_stable_than_bottom(self):
+        months = range(6)
+        top_stable = stable_sites(
+            {m: self.MODEL.monthly_ranking(m) for m in months}, 100
+        )
+        bottom_cut = stable_sites(
+            {m: self.MODEL.monthly_ranking(m) for m in months}, 400
+        )
+        assert len(top_stable) / 100 > 0.5
+        assert len(top_stable) / 100 >= len(bottom_cut) / 400 - 0.05
+
+    def test_universe_must_exceed_list(self):
+        with pytest.raises(ValueError):
+            RankingModel(universe_size=100, list_size=100)
+
+
+class TestStableSites:
+    def test_intersection_semantics(self):
+        rankings = {
+            0: ["a", "b", "c", "d"],
+            1: ["b", "a", "d", "e"],
+            2: ["a", "d", "b", "f"],
+        }
+        assert stable_sites(rankings, 4) == ["a", "b", "d"]
+
+    def test_cutoff_applies_every_month(self):
+        rankings = {0: ["a", "b"], 1: ["b", "a"]}
+        assert stable_sites(rankings, 1) == []
+
+    def test_empty(self):
+        assert stable_sites({}, 10) == []
+
+    def test_order_follows_first_month(self):
+        rankings = {0: ["c", "a", "b"], 1: ["a", "b", "c"]}
+        assert stable_sites(rankings, 3) == ["c", "a", "b"]

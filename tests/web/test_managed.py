@@ -1,0 +1,132 @@
+"""Tests for managed robots.txt services and their evolution wiring."""
+
+from repro.core.classify import RestrictionLevel, classify
+from repro.web.events import AGENT_ANNOUNCED
+from repro.web.evolution import EvolutionParams, OperatorModel
+from repro.web.managed import ManagedRobotsService
+from repro.web.site import SimSite
+
+
+class TestManagedRobotsService:
+    SERVICE = ManagedRobotsService()
+
+    def test_known_agents_grow_over_time(self):
+        early = self.SERVICE.known_agents(10)
+        late = self.SERVICE.known_agents(24)
+        assert set(early) < set(late)
+        assert "GPTBot" in early
+        assert "Meta-ExternalAgent" not in early
+        assert "Meta-ExternalAgent" in late
+
+    def test_update_months_are_announcements_after_subscription(self):
+        months = self.SERVICE.update_months(subscribed_month=12, through=24)
+        assert months
+        assert all(12 < m <= 24 for m in months)
+        assert months == sorted(set(months))
+
+    def test_managed_text_blocks_all_known_agents(self):
+        text = self.SERVICE.managed_text("User-agent: *\nDisallow: /tmp/\n", 24)
+        for token in self.SERVICE.known_agents(24):
+            assert classify(text, token).level is RestrictionLevel.FULL, token
+        # The customer's own rules are preserved.
+        assert "/tmp/" in text
+
+    def test_managed_text_does_not_duplicate_customer_rules(self):
+        base = "User-agent: GPTBot\nDisallow: /art/\n"
+        text = self.SERVICE.managed_text(base, 24)
+        assert text.lower().count("user-agent: gptbot") == 1
+        # The customer's partial rule wins over the manager's blanket.
+        assert classify(text, "GPTBot").level is RestrictionLevel.PARTIAL
+
+    def test_schedule_starts_at_subscription(self):
+        schedule = self.SERVICE.schedule("", subscribed_month=12)
+        months = [m for m, _ in schedule]
+        assert months[0] == 12
+        assert months == sorted(months)
+
+    def test_custom_announcement_feed(self):
+        service = ManagedRobotsService(announcements={"NewBot": 5})
+        assert service.known_agents(4) == []
+        assert service.known_agents(5) == ["NewBot"]
+
+
+class TestManagedSitesInEvolution:
+    def _managed_site(self):
+        # Force every adopter to be managed so we find one quickly.
+        params = EvolutionParams(p_managed_service=1.0, p_adopt_other=1.0)
+        model = OperatorModel(params=params, seed=11)
+        for i in range(40):
+            site = SimSite(domain=f"managed{i}.com", rank=i, tier="other")
+            model.populate(site)
+            text = site.robots_at(24)
+            if text and "managed by" in text:
+                return site
+        raise AssertionError("no managed site generated")
+
+    def test_managed_site_blocks_everything_announced(self):
+        site = self._managed_site()
+        text = site.robots_at(24)
+        for token, announce in AGENT_ANNOUNCED.items():
+            if announce <= 24:
+                assert classify(text, token).level.disallows, token
+
+    def test_managed_site_updates_at_announcements(self):
+        site = self._managed_site()
+        # Meta-ExternalAgent announced at month 22: blocked at 22+, not
+        # blocked the month before (if the site adopted before then).
+        adoption = min(m for m in site.change_months() if m >= 0)
+        if adoption < 22:
+            before = site.robots_at(21)
+            after = site.robots_at(22)
+            assert not classify(before, "Meta-ExternalAgent").level.disallows
+            assert classify(after, "Meta-ExternalAgent").level.disallows
+
+    def test_default_rate_produces_some_managed_sites(self):
+        model = OperatorModel(seed=3)
+        managed = 0
+        for i in range(600):
+            site = SimSite(domain=f"mix{i}.com", rank=i, tier="other")
+            model.populate(site)
+            text = site.robots_at(24)
+            if text and "managed by" in text:
+                managed += 1
+        # ~10% of ~9% adopters => around 1% of sites.
+        assert 1 <= managed <= 25
+
+
+class TestTrafficSimulation:
+    def _site(self):
+        from repro.net.server import Website, render_page
+
+        site = Website("t.example")
+        site.add_page("/", render_page("Home", links=["/a"]))
+        site.add_page("/a", render_page("A"))
+        return site
+
+    def test_bot_share_in_industry_band(self):
+        from repro.web.traffic import analyze_traffic, simulate_traffic
+
+        site = self._site()
+        simulate_traffic(site, days=2, seed=1)
+        report = analyze_traffic(site.access_log)
+        assert report.total_requests > 100
+        assert 0.40 < report.bot_share < 0.80
+
+    def test_robots_respected_during_traffic(self):
+        from repro.web.traffic import simulate_traffic
+
+        site = self._site()
+        site.set_robots_txt("User-agent: GPTBot\nDisallow: /\n")
+        simulate_traffic(site, days=1, seed=2)
+        # GPTBot fetched robots.txt but no content; Bytespider ignored it.
+        assert site.access_log.fetched_robots("GPTBot")
+        assert not site.access_log.fetched_content("GPTBot")
+        assert site.access_log.fetched_content("Bytespider")
+
+    def test_deterministic(self):
+        from repro.web.traffic import analyze_traffic, simulate_traffic
+
+        a, b = self._site(), self._site()
+        simulate_traffic(a, days=1, seed=3)
+        simulate_traffic(b, days=1, seed=3)
+        assert analyze_traffic(a.access_log).per_agent == analyze_traffic(b.access_log).per_agent
