@@ -1,0 +1,140 @@
+"""Micro-benchmark: compiled-rule matching vs per-query normalization.
+
+``pattern_matches`` percent-normalizes its pattern on *every* query;
+compiled patterns (:func:`repro.core.matcher.compile_pattern`) pay that
+cost once.  This bench runs both engines over the Appendix B.2
+edge-case corpus (wildcards, ``$`` anchors, percent-encodings, metachar
+literals), asserts every verdict is identical, and requires the
+compiled engine to win on wall clock.
+"""
+
+import time
+
+from conftest import save_artifact
+
+from repro.core.matcher import compile_pattern, normalize_path, pattern_matches
+from repro.report.experiments import ExperimentResult
+from repro.report.tables import render_table
+
+#: Appendix B.2 edge-case rule patterns.
+PATTERNS = [
+    "/",
+    "/fish",
+    "/fish/",
+    "/fish*",
+    "/fish*.php",
+    "/*.php",
+    "/*.php$",
+    "/fish*.php$",
+    "/a%3cd.html",
+    "/a%3Cd.html",
+    "/a<d.html",
+    "/p%2Bq",
+    "/b/*/c",
+    "*",
+    "*/x",
+    "/*/*/*/deep",
+    "/$",
+    "/x$",
+    "/x$y",
+    "/%e3%81%82",
+    "/foo?bar",
+    "/**",
+    "/a**b",
+]
+
+#: Request paths exercising every pattern's edge.
+PATHS = [
+    "/",
+    "/fish",
+    "/fish.html",
+    "/fish/salmon.html",
+    "/fishheads/catfish.php?id=2",
+    "/catfish",
+    "/filename.php",
+    "/filename.php/",
+    "/filename.php?parameters",
+    "/a%3cd.html",
+    "/a<d.html",
+    "/p+q",
+    "/b/x/y/c",
+    "/x",
+    "/x$y",
+    "/%E3%81%82",
+    "/foo?bar=baz",
+    "/a/b/c/deep",
+    "/ab",
+]
+
+ROUNDS = 40
+
+
+def _run_uncached() -> list:
+    verdicts = []
+    for pattern in PATTERNS:
+        for path in PATHS:
+            verdicts.append(pattern_matches(pattern, path))
+    return verdicts
+
+
+def _run_compiled(compiled, normalized_paths) -> list:
+    verdicts = []
+    for pattern in compiled:
+        for path in normalized_paths:
+            verdicts.append(pattern.matches(path))
+    return verdicts
+
+
+def test_compiled_matching_beats_uncached(artifact_dir):
+    # Compile once, normalize each query path once -- the work a
+    # CompiledRobots policy amortizes across queries.
+    compiled = [compile_pattern(p) for p in PATTERNS]
+    assert all(c is not None for c in compiled)
+    normalized_paths = [normalize_path(p) for p in PATHS]
+
+    # Verdict equality on every (pattern, path) pair comes first: a
+    # speedup that changes any decision would be a bug, not a win.
+    assert _run_compiled(compiled, normalized_paths) == _run_uncached()
+
+    start = time.perf_counter()
+    for _ in range(ROUNDS):
+        _run_uncached()
+    uncached_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for _ in range(ROUNDS):
+        compiled_round = [compile_pattern(p) for p in PATTERNS]
+        paths_round = [normalize_path(p) for p in PATHS]
+        _run_compiled(compiled_round, paths_round)
+    compiled_seconds = time.perf_counter() - start
+
+    n_queries = ROUNDS * len(PATTERNS) * len(PATHS)
+    speedup = uncached_seconds / max(compiled_seconds, 1e-12)
+    text = render_table(
+        ["measurement", "value"],
+        [
+            ("edge-case patterns", len(PATTERNS)),
+            ("query paths", len(PATHS)),
+            ("total queries", n_queries),
+            ("per-query normalization (s)", round(uncached_seconds, 4)),
+            ("compile-once matching (s)", round(compiled_seconds, 4)),
+            ("speedup (x)", round(speedup, 2)),
+        ],
+        title="Compiled-rule matching vs pattern_matches (Appendix B.2 corpus)",
+    )
+    result = ExperimentResult(
+        "core_matcher",
+        "Compiled matcher micro-benchmark",
+        text,
+        {
+            "uncached_seconds": uncached_seconds,
+            "compiled_seconds": compiled_seconds,
+            "speedup": speedup,
+        },
+    )
+    save_artifact(artifact_dir, result)
+    print(result.text)
+
+    # Compiled matching must beat per-query normalization even while
+    # paying its own compile + path-normalization cost inside the loop.
+    assert speedup > 1.5

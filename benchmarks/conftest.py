@@ -7,12 +7,18 @@ own measurement pipeline and asserts the paper's bands.
 
 Every bench writes its rendered artifact (the table/figure text the
 paper reports) to ``benchmarks/output/<experiment>.txt`` so results are
-inspectable after a run regardless of pytest capture settings.
+inspectable after a run regardless of pytest capture settings.  The
+harness additionally records per-bench wall-clock timings to a
+machine-readable ``benchmarks/output/BENCH_RESULTS.json`` so future
+changes have a perf trajectory to regress against.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
+import platform
+import time
 
 import pytest
 
@@ -27,6 +33,11 @@ from repro.web.population import PopulationConfig, build_web_population
 BENCH_CONFIG = PopulationConfig()
 
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+BENCH_RESULTS_PATH = OUTPUT_DIR / "BENCH_RESULTS.json"
+
+#: Wall-clock call durations per bench nodeid, collected as tests run.
+_TIMINGS: dict = {}
 
 
 @pytest.fixture(scope="session")
@@ -54,3 +65,41 @@ def save_artifact(directory: pathlib.Path, result: ExperimentResult) -> None:
     for name, value in sorted(result.metrics.items()):
         lines.append(f"  {name} = {value:.4f}")
     path.write_text("\n".join(lines) + "\n")
+
+
+# -- machine-readable timing trajectory ----------------------------------------
+
+
+def pytest_runtest_logreport(report) -> None:
+    """Collect the measurement-phase (call) wall clock of every bench."""
+    if report.when == "call" and report.passed:
+        _TIMINGS[report.nodeid] = round(report.duration, 6)
+
+
+def pytest_sessionfinish(session, exitstatus) -> None:
+    """Merge this run's timings into ``BENCH_RESULTS.json``.
+
+    The file maps bench nodeids to their most recent wall-clock call
+    duration (seconds) plus run metadata.  Timings from benches not
+    selected in this run are preserved, so partial runs refine rather
+    than erase the trajectory.
+    """
+    if not _TIMINGS:
+        return
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    previous: dict = {}
+    if BENCH_RESULTS_PATH.exists():
+        try:
+            previous = json.loads(BENCH_RESULTS_PATH.read_text())
+        except (ValueError, OSError):
+            previous = {}
+    timings = dict(previous.get("timings_seconds", {}))
+    timings.update(_TIMINGS)
+    payload = {
+        "schema_version": 1,
+        "recorded_at_unix": round(time.time(), 3),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "timings_seconds": dict(sorted(timings.items())),
+    }
+    BENCH_RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")

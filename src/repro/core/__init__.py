@@ -29,6 +29,14 @@ from .classify import (
     explicitly_allows,
     fully_disallows_any,
 )
+from .compiled import (
+    CompiledPolicyCache,
+    CompiledRobots,
+    CompiledRuleSet,
+    compile_rules,
+    evaluate_compiled,
+    shared_policy_cache,
+)
 from .diagnostics import Finding, Severity, has_mistakes, lint
 from .legacy import LegacyPolicy, LegacyQuirks
 from .lexer import Line, LineKind, tokenize
@@ -56,6 +64,12 @@ __all__ = [
     "classify_rules",
     "explicitly_allows",
     "fully_disallows_any",
+    "CompiledPolicyCache",
+    "CompiledRobots",
+    "CompiledRuleSet",
+    "compile_rules",
+    "evaluate_compiled",
+    "shared_policy_cache",
     "Finding",
     "Severity",
     "has_mistakes",

@@ -1,0 +1,201 @@
+"""Compiled robots.txt policies and the content-addressed compile cache.
+
+The measurement pipelines evaluate the *same* robots.txt bodies against
+the *same* user agents thousands of times: every figure re-visits every
+site in every snapshot, and most sites never change between snapshots.
+Two layers remove that redundancy:
+
+* :class:`CompiledRobots` -- a drop-in :class:`RobotsPolicy` whose
+  per-agent rule resolution is memoized and whose rule patterns are
+  percent-normalized **once** at compile time (see
+  :class:`~repro.core.matcher.CompiledPattern`), so each query only
+  normalizes the request path.
+* :class:`CompiledPolicyCache` -- a content-addressed cache keyed by
+  ``sha256(robots_bytes)``: each unique robots.txt body in a process is
+  parsed and compiled exactly once, no matter how many domains,
+  snapshots, crawlers, or figures reference it.
+
+A process-wide shared cache (:func:`shared_policy_cache`) serves both
+the analysis pipelines (:mod:`repro.measure`) and the crawl testbed
+(:mod:`repro.crawlers.engine`), so the same compiled object answers for
+a given body everywhere.  Compiled policies are immutable after parse
+and safe to share across threads; the cache itself is lock-protected so
+parallel snapshot collection can use it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple, Union
+
+from .matcher import CompiledPattern, Rule, Verdict, compile_pattern, normalize_path
+from .parser import ParsedRobots
+from .policy import AgentRules, RobotsPolicy
+
+__all__ = [
+    "CompiledRuleSet",
+    "CompiledRobots",
+    "CompiledPolicyCache",
+    "compile_rules",
+    "evaluate_compiled",
+    "shared_policy_cache",
+]
+
+
+#: A compiled rule: the precomputed pattern plus the original rule (the
+#: original is retained so verdicts can report the winning source line).
+CompiledRule = Tuple[CompiledPattern, Rule]
+
+
+def compile_rules(rules: Iterable[Rule]) -> Tuple[CompiledRule, ...]:
+    """Compile a merged rule set, dropping empty (match-nothing) rules."""
+    out = []
+    for rule in rules:
+        compiled = compile_pattern(rule.path)
+        if compiled is None:
+            continue
+        out.append((compiled, rule))
+    return tuple(out)
+
+
+def evaluate_compiled(
+    compiled_rules: Iterable[CompiledRule], path: str, *, normalized: bool = False
+) -> Verdict:
+    """Longest-match evaluation over pre-compiled rules.
+
+    Behaviorally identical to :func:`repro.core.matcher.evaluate` (same
+    precedence, same allow-wins tie break, same winning rule), but no
+    per-query pattern normalization happens.  Pass ``normalized=True``
+    when *path* already went through :func:`normalize_path`.
+    """
+    if not normalized:
+        path = normalize_path(path)
+    best_priority = -1
+    best_rule: Optional[Rule] = None
+    for pattern, rule in compiled_rules:
+        if not pattern.matches(path):
+            continue
+        if best_rule is None or pattern.priority > best_priority or (
+            pattern.priority == best_priority and rule.allow and not best_rule.allow
+        ):
+            best_priority = pattern.priority
+            best_rule = rule
+    if best_rule is None:
+        return Verdict(allowed=True, rule=None)
+    return Verdict(allowed=best_rule.allow, rule=best_rule)
+
+
+@dataclass(frozen=True)
+class CompiledRuleSet:
+    """The compiled form of one agent's merged rules.
+
+    Attributes:
+        rules: Compiled rules in merge order.
+        explicit: Mirrors :attr:`~repro.core.policy.AgentRules.explicit`.
+        crawl_delay: Mirrors
+            :attr:`~repro.core.policy.AgentRules.crawl_delay`.
+    """
+
+    rules: Tuple[CompiledRule, ...]
+    explicit: bool
+    crawl_delay: Optional[float] = None
+
+
+class CompiledRobots(RobotsPolicy):
+    """A :class:`RobotsPolicy` with memoized, pre-compiled agent rules.
+
+    Group resolution (:meth:`rules_for`) runs once per distinct user
+    agent; path verdicts evaluate against compiled patterns.  All
+    answers are identical to the base class -- this is purely a
+    performance representation.
+
+    >>> policy = CompiledRobots("User-agent: GPTBot\\nDisallow: /")
+    >>> policy.is_allowed("GPTBot", "/page")
+    False
+    """
+
+    def __init__(self, source: Union[str, bytes, ParsedRobots]):
+        super().__init__(source)
+        self._agent_rules: Dict[str, AgentRules] = {}
+        self._compiled_rules: Dict[str, CompiledRuleSet] = {}
+
+    def rules_for(self, user_agent: str) -> AgentRules:
+        """Memoized group resolution (see the base class for semantics)."""
+        cached = self._agent_rules.get(user_agent)
+        if cached is None:
+            cached = super().rules_for(user_agent)
+            self._agent_rules[user_agent] = cached
+        return cached
+
+    def compiled_rules_for(self, user_agent: str) -> CompiledRuleSet:
+        """The compiled rule set applying to *user_agent* (memoized)."""
+        cached = self._compiled_rules.get(user_agent)
+        if cached is None:
+            agent_rules = self.rules_for(user_agent)
+            cached = CompiledRuleSet(
+                rules=compile_rules(agent_rules.rules),
+                explicit=agent_rules.explicit,
+                crawl_delay=agent_rules.crawl_delay,
+            )
+            self._compiled_rules[user_agent] = cached
+        return cached
+
+    def verdict(self, user_agent: str, path: str) -> Verdict:
+        """Full evaluation result, via the compiled representation."""
+        return evaluate_compiled(self.compiled_rules_for(user_agent).rules, path)
+
+
+def policy_digest(source: Union[str, bytes]) -> str:
+    """Content address of a robots.txt body: hex SHA-256 of its bytes."""
+    data = source if isinstance(source, bytes) else source.encode("utf-8", "surrogateescape")
+    return hashlib.sha256(data).hexdigest()
+
+
+class CompiledPolicyCache:
+    """Content-addressed cache of :class:`CompiledRobots` objects.
+
+    ``cache.policy(text)`` parses and compiles each distinct body once
+    per cache; subsequent calls with byte-identical content return the
+    same object.  Thread-safe.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._by_digest: Dict[str, CompiledRobots] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._by_digest)
+
+    def policy(self, source: Union[str, bytes]) -> CompiledRobots:
+        """The compiled policy for *source*, compiling on first sight."""
+        key = policy_digest(source)
+        with self._lock:
+            cached = self._by_digest.get(key)
+            if cached is not None:
+                self.hits += 1
+                return cached
+            self.misses += 1
+        compiled = CompiledRobots(source)
+        with self._lock:
+            # setdefault: a racing thread may have compiled the same
+            # body; both results are equivalent, keep the first.
+            return self._by_digest.setdefault(key, compiled)
+
+    def clear(self) -> None:
+        """Drop every cached policy and reset the hit/miss counters."""
+        with self._lock:
+            self._by_digest.clear()
+            self.hits = 0
+            self.misses = 0
+
+
+_SHARED_CACHE = CompiledPolicyCache()
+
+
+def shared_policy_cache() -> CompiledPolicyCache:
+    """The process-wide compile cache shared by analysis and crawlers."""
+    return _SHARED_CACHE

@@ -19,11 +19,13 @@ rule wins (least-restrictive tie break).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence, Tuple
+from typing import Iterable, NamedTuple, Optional, Sequence, Tuple
 from urllib.parse import quote, unquote
 
 __all__ = [
     "Rule",
+    "CompiledPattern",
+    "compile_pattern",
     "normalize_path",
     "pattern_matches",
     "match_priority",
@@ -74,6 +76,72 @@ class Rule:
         return self.path == ""
 
 
+class CompiledPattern(NamedTuple):
+    """A rule pattern normalized and decomposed once, at compile time.
+
+    Attributes:
+        priority: Length of the full normalized pattern (including a
+            trailing ``$``), i.e. :func:`match_priority` of the source.
+        anchored: Whether the pattern ended with ``$``.
+        pieces: The normalized pattern (sans ``$``) split on ``*``; a
+            single-element tuple means the pattern has no wildcards.
+    """
+
+    priority: int
+    anchored: bool
+    pieces: Tuple[str, ...]
+
+    def matches(self, path: str) -> bool:
+        """Whether this pattern matches an already-normalized *path*.
+
+        Callers must pass the output of :func:`normalize_path`; skipping
+        re-normalization per query is the point of compiling.
+        """
+        pieces = self.pieces
+        if len(pieces) == 1:
+            if self.anchored:
+                return path == pieces[0]
+            return path.startswith(pieces[0])
+
+        # Greedy segment scan: the first piece must be a prefix, the
+        # last piece (when anchored) must be a suffix, and intermediate
+        # pieces must appear in order.
+        if not path.startswith(pieces[0]):
+            return False
+        pos = len(pieces[0])
+        last = pieces[-1]
+        for piece in pieces[1:-1]:
+            if piece == "":
+                continue
+            found = path.find(piece, pos)
+            if found == -1:
+                return False
+            pos = found + len(piece)
+        if self.anchored:
+            return path.endswith(last) and len(path) - len(last) >= pos
+        if last == "":
+            return True
+        return path.find(last, pos) != -1
+
+
+def compile_pattern(pattern: str) -> Optional[CompiledPattern]:
+    """Normalize *pattern* once and precompute its match structure.
+
+    Returns None for the empty pattern, which matches nothing (per RFC
+    an empty ``Disallow`` value imposes no restriction).
+    """
+    if pattern == "":
+        return None
+    normalized = normalize_path(pattern)
+    priority = len(normalized)
+    anchored = normalized.endswith("$")
+    if anchored:
+        normalized = normalized[:-1]
+    return CompiledPattern(
+        priority=priority, anchored=anchored, pieces=tuple(normalized.split("*"))
+    )
+
+
 def pattern_matches(pattern: str, path: str) -> bool:
     """Whether a robots.txt *pattern* matches a normalized request *path*.
 
@@ -86,41 +154,10 @@ def pattern_matches(pattern: str, path: str) -> bool:
     >>> pattern_matches("/*.php$", "/filename.php/")
     False
     """
-    if pattern == "":
+    compiled = compile_pattern(pattern)
+    if compiled is None:
         return False
-    pattern = normalize_path(pattern)
-    path = normalize_path(path)
-
-    anchored = pattern.endswith("$")
-    if anchored:
-        pattern = pattern[:-1]
-
-    pieces = pattern.split("*")
-    if len(pieces) == 1:
-        if anchored:
-            return path == pattern
-        return path.startswith(pattern)
-
-    # Greedy segment scan: the first piece must be a prefix, the last
-    # piece (when anchored) must be a suffix, and intermediate pieces
-    # must appear in order.
-    if not path.startswith(pieces[0]):
-        return False
-    pos = len(pieces[0])
-    middle = pieces[1:-1]
-    last = pieces[-1]
-    for piece in middle:
-        if piece == "":
-            continue
-        found = path.find(piece, pos)
-        if found == -1:
-            return False
-        pos = found + len(piece)
-    if anchored:
-        return path.endswith(last) and len(path) - len(last) >= pos
-    if last == "":
-        return True
-    return path.find(last, pos) != -1
+    return compiled.matches(normalize_path(path))
 
 
 def match_priority(pattern: str) -> int:
@@ -156,9 +193,12 @@ def evaluate(rules: Iterable[Rule], path: str) -> Verdict:
     for rule in rules:
         if rule.is_empty:
             continue
-        if not pattern_matches(rule.path, path):
+        # Compile (normalize) the pattern exactly once per rule: the
+        # match test and its priority both come from the compiled form.
+        compiled = compile_pattern(rule.path)
+        if compiled is None or not compiled.matches(path):
             continue
-        priority = match_priority(rule.path)
+        priority = compiled.priority
         if best is None:
             best = (priority, rule)
             continue
@@ -183,6 +223,7 @@ def first_match(rules: Sequence[Rule], path: str) -> Verdict:
     for rule in rules:
         if rule.is_empty:
             continue
-        if pattern_matches(rule.path, path):
+        compiled = compile_pattern(rule.path)
+        if compiled is not None and compiled.matches(path):
             return Verdict(allowed=rule.allow, rule=rule)
     return Verdict(allowed=True, rule=None)

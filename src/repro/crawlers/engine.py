@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..core.compiled import CompiledRobots, shared_policy_cache
 from ..core.policy import RobotsPolicy
 from ..net.errors import NetError
 from ..net.http import Headers, Request, Response
@@ -29,6 +30,10 @@ from ..net.transport import Network
 from .profiles import CrawlerProfile, RobotsBehavior
 
 __all__ = ["CrawlResult", "Crawler"]
+
+#: The synthetic policy for unreachable robots.txt (RFC 9309 2.3.1),
+#: compiled once for the whole fleet.
+_DISALLOW_ALL = CompiledRobots("User-agent: *\nDisallow: /")
 
 
 @dataclass
@@ -166,17 +171,21 @@ class Crawler:
         # a 5xx means robots.txt is *unreachable* and the crawler MUST
         # assume complete disallow.  (Actively-blocking sites that 403
         # the robots.txt fetch therefore keep obedient bots out.)
+        policy: Optional[RobotsPolicy]
         if response.ok:
-            policy: Optional[RobotsPolicy] = RobotsPolicy(response.text)
+            # Content-addressed compile cache: every crawler in the
+            # fleet shares one compiled policy per distinct body, the
+            # same objects the analysis pipelines classify.
+            policy = shared_policy_cache().policy(response.text)
         elif 500 <= response.status < 600:
-            policy = RobotsPolicy("User-agent: *\nDisallow: /")
+            policy = _DISALLOW_ALL
         elif response.status == 403:
             # 403 is formally a 4xx, but a server that refuses the
             # robots.txt request is refusing the crawler; production
             # crawlers treat it as unreachable.  Configurable via the
             # profile for bots that interpret it as "no policy".
             policy = (
-                RobotsPolicy("User-agent: *\nDisallow: /")
+                _DISALLOW_ALL
                 if self.profile.forbidden_robots_means_disallow
                 else None
             )

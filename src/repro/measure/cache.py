@@ -1,0 +1,104 @@
+"""Content-addressed classification cache for the measurement pipelines.
+
+The Section 3 figures classify every site's robots.txt under up to ~24
+AI user agents across fifteen snapshots.  Most sites never change
+between snapshots and many sites share operator-template bodies, so the
+number of *distinct* (body, agent) classification problems is a small
+fraction of the number of (domain, snapshot, agent) queries.
+
+:class:`PolicyCache` memoizes the three classification primitives the
+pipelines use -- :func:`~repro.core.classify.classify`,
+:func:`~repro.core.classify.fully_disallows_any`, and
+:func:`~repro.core.classify.explicitly_allows` -- keyed by the
+content-addressed compiled policy (one per unique body, via
+:class:`~repro.core.compiled.CompiledPolicyCache`) plus the query
+parameters.  Results are the uncached functions' results, computed once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+from ..core.classify import (
+    Classification,
+    RestrictionLevel,
+    classify,
+    explicitly_allows,
+)
+from ..core.compiled import CompiledPolicyCache, CompiledRobots, shared_policy_cache
+
+__all__ = ["PolicyCache"]
+
+
+class PolicyCache:
+    """Memoized robots.txt classification over unique bodies.
+
+    All query methods accept ``None`` for "the site serves no
+    robots.txt" and answer exactly like their uncached counterparts.
+    """
+
+    def __init__(self, compiled: Optional[CompiledPolicyCache] = None):
+        self._compiled = compiled if compiled is not None else shared_policy_cache()
+        # Keys hold the compiled policy object itself (identity-hashed),
+        # which both pins it alive and avoids re-hashing body text.
+        self._classifications: Dict[
+            Tuple[CompiledRobots, str, bool], Classification
+        ] = {}
+        self._full_any: Dict[Tuple[CompiledRobots, Tuple[str, ...], bool], bool] = {}
+        self._explicit_allow: Dict[Tuple[CompiledRobots, str], bool] = {}
+
+    def policy(self, text: Union[str, bytes]) -> CompiledRobots:
+        """The shared compiled policy for *text* (parsed at most once)."""
+        return self._compiled.policy(text)
+
+    def classification(
+        self,
+        text: Optional[Union[str, bytes]],
+        user_agent: str,
+        require_explicit: bool = True,
+    ) -> Classification:
+        """Memoized :func:`~repro.core.classify.classify`."""
+        if text is None:
+            return classify(None, user_agent, require_explicit=require_explicit)
+        policy = self.policy(text)
+        key = (policy, user_agent, require_explicit)
+        cached = self._classifications.get(key)
+        if cached is None:
+            cached = classify(policy, user_agent, require_explicit=require_explicit)
+            self._classifications[key] = cached
+        return cached
+
+    def fully_disallows_any(
+        self,
+        text: Optional[Union[str, bytes]],
+        user_agents: Sequence[str],
+        require_explicit: bool = True,
+    ) -> bool:
+        """Memoized :func:`~repro.core.classify.fully_disallows_any`."""
+        if text is None:
+            return False
+        policy = self.policy(text)
+        key = (policy, tuple(user_agents), require_explicit)
+        cached = self._full_any.get(key)
+        if cached is None:
+            cached = any(
+                self.classification(text, agent, require_explicit).level
+                is RestrictionLevel.FULL
+                for agent in user_agents
+            )
+            self._full_any[key] = cached
+        return cached
+
+    def explicitly_allows(
+        self, text: Optional[Union[str, bytes]], user_agent: str
+    ) -> bool:
+        """Memoized :func:`~repro.core.classify.explicitly_allows`."""
+        if text is None:
+            return False
+        policy = self.policy(text)
+        key = (policy, user_agent)
+        cached = self._explicit_allow.get(key)
+        if cached is None:
+            cached = explicitly_allows(policy, user_agent)
+            self._explicit_allow[key] = cached
+        return cached

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..agents.darkvisitors import build_registry
 from ..agents.registry import Compliance
+from ..core.compiled import shared_policy_cache
 from ..core.serialize import RobotsBuilder
 from ..crawlers.assistant import GptApp, GptAppStore
 from ..crawlers.engine import Crawler
@@ -67,14 +68,23 @@ def build_testbed(agent_tokens: Sequence[str], network: Optional[Network] = None
 
     wildcard = Website(WILDCARD_HOST)
     _fill_pages(wildcard)
-    wildcard.set_robots_txt(RobotsBuilder().group("*").disallow("/").build())
+    wildcard_robots = RobotsBuilder().group("*").disallow("/").build()
+    wildcard.set_robots_txt(wildcard_robots)
 
     per_agent = Website(PER_AGENT_HOST)
     _fill_pages(per_agent)
     builder = RobotsBuilder()
     for token in agent_tokens:
         builder.group(token).disallow("/")
-    per_agent.set_robots_txt(builder.build())
+    per_agent_robots = builder.build()
+    per_agent.set_robots_txt(per_agent_robots)
+
+    # Pre-warm the content-addressed compile cache: every obedient
+    # crawler in the fleet will resolve these two bodies to the same
+    # compiled policy objects the analysis layer uses.
+    cache = shared_policy_cache()
+    cache.policy(wildcard_robots)
+    cache.policy(per_agent_robots)
 
     network.register(wildcard)
     network.register(per_agent)

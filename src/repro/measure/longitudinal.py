@@ -1,10 +1,11 @@
 """Section 3: longitudinal robots.txt analysis over snapshots.
 
 Pipeline: take a web population, run the Common-Crawl-style snapshotter
-over the 15 snapshot specs, filter to the Stable-with-robots set (the
-paper's "Stable Top 100K": ranked every month *and* a robots.txt in
-every snapshot), then compute the statistics behind Figures 2-4 and
-Tables 3-4:
+over the 15 snapshot specs (optionally in parallel -- each spec builds
+an independent network, so snapshots are embarrassingly parallel),
+filter to the Stable-with-robots set (the paper's "Stable Top 100K":
+ranked every month *and* a robots.txt in every snapshot), then compute
+the statistics behind Figures 2-4 and Tables 3-4:
 
 * per-snapshot % of sites fully disallowing >= 1 AI user agent, split
   by Top-5K tier (Figure 2),
@@ -13,21 +14,23 @@ Tables 3-4:
 * domains explicitly allowing GPTBot with first-allow snapshot
   (Table 4),
 * snapshot coverage statistics (Table 3).
+
+Performance architecture: robots.txt bodies are interned across the
+series, every aggregation groups domains by **unique body** and
+classifies each (body, agent) problem exactly once through the series'
+content-addressed :class:`~repro.measure.cache.PolicyCache`, instead of
+re-parsing identical text per domain per snapshot per figure.  All
+outputs are bit-identical to the per-domain re-parsing formulation.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..agents.darkvisitors import AI_USER_AGENT_TOKENS
-from ..core.classify import (
-    RestrictionLevel,
-    classify,
-    explicitly_allows,
-    fully_disallows_any,
-)
-from ..core.policy import RobotsPolicy
+from ..core.classify import RestrictionLevel
 from ..crawlers.commoncrawl import (
     SNAPSHOT_SPECS,
     Snapshot,
@@ -36,6 +39,7 @@ from ..crawlers.commoncrawl import (
 )
 from ..net.transport import Network
 from ..web.population import WebPopulation
+from .cache import PolicyCache
 
 __all__ = [
     "SnapshotSeries",
@@ -70,11 +74,17 @@ class SnapshotSeries:
         stable_domains: Domains of the population's stable set.
         analysis_domains: Stable domains with a robots.txt in *every*
             snapshot -- the paper's Stable Top 100K analogue.
+        cache: Content-addressed classification cache shared by every
+            aggregation over this series.
     """
 
     snapshots: List[Snapshot]
     stable_domains: List[str]
     analysis_domains: List[str]
+    cache: PolicyCache = field(default_factory=PolicyCache, repr=False, compare=False)
+    _body_rows: Dict[str, List[Optional[str]]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def robots_for(self, domain: str, snapshot: Snapshot) -> Optional[str]:
         """robots.txt content for *domain* in *snapshot* (www fallback)."""
@@ -83,23 +93,75 @@ class SnapshotSeries:
             return None
         return record.robots_txt
 
+    def analysis_bodies(self, snapshot: Snapshot) -> List[Optional[str]]:
+        """Per-domain robots bodies aligned with ``analysis_domains``.
+
+        Computed once per snapshot and memoized; bodies are interned, so
+        the row is a list of shared references, not text copies.
+        """
+        key = snapshot.spec.snapshot_id
+        row = self._body_rows.get(key)
+        if row is None:
+            row = [self.robots_for(d, snapshot) for d in self.analysis_domains]
+            self._body_rows[key] = row
+        return row
+
+    def analysis_body_counts(
+        self, snapshot: Snapshot
+    ) -> List[Tuple[Optional[str], int]]:
+        """``(unique body, domain count)`` groups over the analysis set.
+
+        Aggregations that only need per-snapshot rates iterate these
+        groups instead of per-domain rows: each distinct body is then
+        classified once regardless of how many domains serve it.
+        """
+        counts: Dict[Optional[str], int] = {}
+        for body in self.analysis_bodies(snapshot):
+            counts[body] = counts.get(body, 0) + 1
+        return list(counts.items())
+
 
 def collect_snapshots(
     population: WebPopulation,
     specs: Sequence[SnapshotSpec] = tuple(SNAPSHOT_SPECS),
+    workers: Optional[int] = None,
 ) -> SnapshotSeries:
     """Run the snapshot crawler over the population's stable set.
 
     Each snapshot materializes the population at the snapshot's month
     and crawls every stable site's robots.txt with the CCBot client.
+
+    Args:
+        workers: Number of snapshots to crawl concurrently.  Each spec
+            builds its own independent :class:`Network`, so snapshots
+            parallelize without shared mutable state; results are
+            assembled in spec order, making the output bit-identical
+            for any worker count (``None``/``1`` = sequential).
     """
     domains = [site.domain for site in population.stable]
-    snapshots: List[Snapshot] = []
-    for spec in specs:
+    specs = list(specs)
+
+    def collect_one(spec: SnapshotSpec) -> Snapshot:
         network = Network()
         population.materialize(network, month=spec.month_index)
         crawler = SnapshotCrawler(network)
-        snapshots.append(crawler.snapshot(spec, domains))
+        return crawler.snapshot(spec, domains)
+
+    if workers is None or workers <= 1 or len(specs) <= 1:
+        snapshots = [collect_one(spec) for spec in specs]
+    else:
+        with ThreadPoolExecutor(max_workers=min(workers, len(specs))) as pool:
+            # executor.map preserves spec order regardless of completion
+            # order, so parallelism cannot reorder the series.
+            snapshots = list(pool.map(collect_one, specs))
+
+    # Intern robots bodies across the whole series: fifteen snapshots of
+    # a mostly-unchanged population collapse to one string per distinct
+    # body, and downstream grouping hashes each body once.
+    body_pool: Dict[str, str] = {}
+    for snapshot in snapshots:
+        snapshot.intern_bodies(body_pool)
+
     analysis = stable_with_robots(snapshots, domains)
     return SnapshotSeries(
         snapshots=snapshots, stable_domains=domains, analysis_domains=analysis
@@ -134,23 +196,42 @@ def full_disallow_trend(
     Returns rows ``(snapshot_id, pct_top5k, pct_other)`` in time order,
     percentages in [0, 100].
     """
-    top = [d for d in series.analysis_domains if d in top5k_domains]
-    other = [d for d in series.analysis_domains if d not in top5k_domains]
+    in_top = [d in top5k_domains for d in series.analysis_domains]
+    n_top = sum(in_top)
+    n_other = len(series.analysis_domains) - n_top
+    cache = series.cache
     rows: List[Tuple[str, float, float]] = []
     for snapshot in series.snapshots:
-        def rate(domains: List[str]) -> float:
-            if not domains:
-                return 0.0
-            hits = 0
-            for domain in domains:
-                text = series.robots_for(domain, snapshot)
-                if text is not None and fully_disallows_any(
-                    text, agents, require_explicit=require_explicit
-                ):
-                    hits += 1
-            return 100.0 * hits / len(domains)
+        # Group domains by unique body within each tier, then classify
+        # each distinct body once.
+        tier_counts: Tuple[Dict[Optional[str], int], Dict[Optional[str], int]] = (
+            {},
+            {},
+        )
+        for body, is_top in zip(series.analysis_bodies(snapshot), in_top):
+            counts = tier_counts[0] if is_top else tier_counts[1]
+            counts[body] = counts.get(body, 0) + 1
 
-        rows.append((snapshot.spec.snapshot_id, rate(top), rate(other)))
+        def rate(counts: Dict[Optional[str], int], total: int) -> float:
+            if not total:
+                return 0.0
+            hits = sum(
+                count
+                for body, count in counts.items()
+                if body is not None
+                and cache.fully_disallows_any(
+                    body, agents, require_explicit=require_explicit
+                )
+            )
+            return 100.0 * hits / total
+
+        rows.append(
+            (
+                snapshot.spec.snapshot_id,
+                rate(tier_counts[0], n_top),
+                rate(tier_counts[1], n_other),
+            )
+        )
     return rows
 
 
@@ -165,18 +246,16 @@ def per_agent_trend(
     """
     out: Dict[str, List[Tuple[str, float]]] = {agent: [] for agent in agents}
     population = series.analysis_domains
+    cache = series.cache
     for snapshot in series.snapshots:
-        policies: List[Optional[RobotsPolicy]] = []
-        for domain in population:
-            text = series.robots_for(domain, snapshot)
-            policies.append(RobotsPolicy(text) if text is not None else None)
+        groups = series.analysis_body_counts(snapshot)
         for agent in agents:
             hits = 0
-            for policy in policies:
-                if policy is None:
+            for body, count in groups:
+                if body is None:
                     continue
-                if classify(policy, agent).level.disallows:
-                    hits += 1
+                if cache.classification(body, agent).level.disallows:
+                    hits += count
             pct = 100.0 * hits / len(population) if population else 0.0
             out[agent].append((snapshot.spec.snapshot_id, pct))
     return out
@@ -208,26 +287,37 @@ def allow_and_removal_trend(
 ) -> AllowRemovalTrend:
     """Figure 4: explicit allows over time and removals per period."""
     trend = AllowRemovalTrend()
+    cache = series.cache
+
+    def allows_any(body: str) -> bool:
+        return any(cache.explicitly_allows(body, agent) for agent in agents)
+
     previous_restricted: Set[str] = set()
     first = True
     for snapshot in series.snapshots:
         allows = 0
         restricted_now: Set[str] = set()
         removed_now = 0
-        for domain in series.analysis_domains:
-            text = series.robots_for(domain, snapshot)
-            if text is None:
+        # Counting passes run over unique bodies; the restricted *set*
+        # needs domain identities, so it walks the aligned body row.
+        for body, count in series.analysis_body_counts(snapshot):
+            if body is None:
                 continue
-            policy = RobotsPolicy(text)
-            if any(explicitly_allows(policy, agent) for agent in agents):
-                allows += 1
-            level = classify(policy, removal_agent).level
-            if level is RestrictionLevel.FULL:
+            if allows_any(body):
+                allows += count
+        bodies = series.analysis_bodies(snapshot)
+        for domain, body in zip(series.analysis_domains, bodies):
+            if body is None:
+                continue
+            if cache.classification(body, removal_agent).level is RestrictionLevel.FULL:
                 restricted_now.add(domain)
         if not first:
-            for domain in previous_restricted - restricted_now:
-                removed_now += 1
-                trend.removal_domains.setdefault(domain, snapshot.spec.snapshot_id)
+            for domain in series.analysis_domains:
+                if domain in previous_restricted and domain not in restricted_now:
+                    removed_now += 1
+                    trend.removal_domains.setdefault(
+                        domain, snapshot.spec.snapshot_id
+                    )
         trend.explicit_allow_counts.append((snapshot.spec.snapshot_id, allows))
         trend.removals_per_period.append(
             (snapshot.spec.snapshot_id, 0 if first else removed_now)
@@ -244,12 +334,13 @@ def first_allow_table(
     snapshot where the allow was observed."""
     rows: List[Tuple[str, str]] = []
     seen: Set[str] = set()
+    cache = series.cache
     for snapshot in series.snapshots:
-        for domain in series.analysis_domains:
+        bodies = series.analysis_bodies(snapshot)
+        for domain, body in zip(series.analysis_domains, bodies):
             if domain in seen:
                 continue
-            text = series.robots_for(domain, snapshot)
-            if text is not None and explicitly_allows(text, agent):
+            if body is not None and cache.explicitly_allows(body, agent):
                 rows.append((domain, snapshot.spec.snapshot_id))
                 seen.add(domain)
     return rows

@@ -18,6 +18,7 @@ from ..agents.catalogs import generic_crawler_user_agents
 from ..agents.darkvisitors import AI_USER_AGENT_TOKENS, build_registry
 from ..agents.registry import Compliance
 from ..core.classify import classify
+from ..core.compiled import shared_policy_cache
 from ..core.diagnostics import has_mistakes
 from ..core.legacy import LegacyPolicy
 from ..core.policy import RobotsPolicy
@@ -38,6 +39,7 @@ from ..measure.compliance import (
     run_active_measurement,
     run_passive_measurement,
 )
+from ..measure.cache import PolicyCache
 from ..measure.longitudinal import (
     FIGURE3_AGENTS,
     SnapshotSeries,
@@ -196,10 +198,16 @@ class LongitudinalBundle:
 
 def build_longitudinal_bundle(
     config: Optional[PopulationConfig] = None,
+    workers: Optional[int] = None,
 ) -> LongitudinalBundle:
-    """Build the Section 3 world and crawl all fifteen snapshots."""
+    """Build the Section 3 world and crawl all fifteen snapshots.
+
+    *workers* is forwarded to
+    :func:`~repro.measure.longitudinal.collect_snapshots`; any worker
+    count yields a bit-identical series.
+    """
     population = build_web_population(config or PopulationConfig())
-    series = collect_snapshots(population)
+    series = collect_snapshots(population, workers=workers)
     return LongitudinalBundle(population=population, series=series)
 
 
@@ -362,11 +370,12 @@ def run_sec62_active_blocking(
     hosts = [s.domain for s in population.audit_sites]
     survey = survey_active_blocking(network, hosts)
 
+    cache = PolicyCache()
     robots_overlap = 0
     for host in survey.blocking_hosts():
         text = population.by_domain[host].robots_at(24)
         if text and any(
-            classify(text, agent).level.disallows
+            cache.classification(text, agent).level.disallows
             for agent in ("ClaudeBot", "anthropic-ai")
         ):
             robots_overlap += 1
@@ -429,6 +438,8 @@ def run_sec63_cloudflare(
     cf_hosts = [s.domain for s in population.audit_sites if s.blocking.on_cloudflare]
     summary = audit_cloudflare_sites(network, cf_hosts)
 
+    cache = PolicyCache()
+
     def robots_disallow_rate(hosts: List[str]) -> float:
         if not hosts:
             return 0.0
@@ -436,7 +447,8 @@ def run_sec63_cloudflare(
         for host in hosts:
             text = population.by_domain[host].robots_at(24)
             if text and any(
-                classify(text, agent).level.disallows for agent in AI_USER_AGENT_TOKENS
+                cache.classification(text, agent).level.disallows
+                for agent in AI_USER_AGENT_TOKENS
             ):
                 hits += 1
         return 100.0 * hits / len(hosts)
@@ -580,7 +592,10 @@ def run_appb2_parser_comparison(
         if text is None:
             continue
         n_sites += 1
-        compliant = RobotsPolicy(text)
+        # The compliant side goes through the content-addressed compile
+        # cache (operator-template bodies repeat across sites); the
+        # legacy parser is the object under test and stays uncached.
+        compliant = shared_policy_cache().policy(text)
         legacy = LegacyPolicy(text)
         site_disagrees = False
         for agent in agents:
@@ -784,8 +799,6 @@ def run_ext_adoption_by_category(bundle: LongitudinalBundle) -> ExperimentResult
     AI crawlers.  This experiment measures end-of-window full-disallow
     rates per category over the analysis population.
     """
-    from ..core.classify import fully_disallows_any
-
     series = bundle.series
     final = series.snapshots[-1]
     by_category: Dict[str, List[int]] = {}
@@ -793,7 +806,8 @@ def run_ext_adoption_by_category(bundle: LongitudinalBundle) -> ExperimentResult
         site = bundle.population.by_domain[domain]
         text = series.robots_for(domain, final)
         hit = int(
-            text is not None and fully_disallows_any(text, AI_USER_AGENT_TOKENS)
+            text is not None
+            and series.cache.fully_disallows_any(text, AI_USER_AGENT_TOKENS)
         )
         by_category.setdefault(site.category, []).append(hit)
     from .stats import proportion_summary
