@@ -27,7 +27,8 @@ from repro.report.experiments import (
     LongitudinalBundle,
     build_longitudinal_bundle,
 )
-from repro.web.population import PopulationConfig, build_web_population
+from repro.web.population import PopulationConfig
+from repro.web.worldstore import shared_world_store
 
 #: The default bench scale: a 1:25 model of the paper's setting.
 BENCH_CONFIG = PopulationConfig()
@@ -36,20 +37,31 @@ OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
 
 BENCH_RESULTS_PATH = OUTPUT_DIR / "BENCH_RESULTS.json"
 
+#: History entries kept in BENCH_RESULTS.json (oldest dropped first).
+HISTORY_LIMIT = 50
+
 #: Wall-clock call durations per bench nodeid, collected as tests run.
 _TIMINGS: dict = {}
 
 
 @pytest.fixture(scope="session")
 def longitudinal_bundle() -> LongitudinalBundle:
-    """The Section 3 world with all fifteen snapshots crawled."""
-    return build_longitudinal_bundle(BENCH_CONFIG)
+    """The Section 3 world with all fifteen snapshots crawled.
+
+    Served from the content-addressed world store, so the bundle and
+    the audit population share one frozen world build per session.
+    """
+    return build_longitudinal_bundle(BENCH_CONFIG, store=shared_world_store())
 
 
 @pytest.fixture(scope="session")
 def audit_population():
-    """The population whose audit tier Section 6 / 2.2 benches probe."""
-    return build_web_population(BENCH_CONFIG)
+    """The population whose audit tier Section 6 / 2.2 benches probe.
+
+    A copy-on-write view over the same stored world the longitudinal
+    bundle uses -- bench-local mutations never reach the substrate.
+    """
+    return shared_world_store().population_view(BENCH_CONFIG)
 
 
 @pytest.fixture(scope="session")
@@ -82,7 +94,9 @@ def pytest_sessionfinish(session, exitstatus) -> None:
     The file maps bench nodeids to their most recent wall-clock call
     duration (seconds) plus run metadata.  Timings from benches not
     selected in this run are preserved, so partial runs refine rather
-    than erase the trajectory.
+    than erase the trajectory; additionally every run appends a
+    ``history`` entry carrying *only its own* timings, giving
+    ``scripts/bench.py`` a per-run trajectory to regress against.
     """
     if not _TIMINGS:
         return
@@ -95,11 +109,21 @@ def pytest_sessionfinish(session, exitstatus) -> None:
             previous = {}
     timings = dict(previous.get("timings_seconds", {}))
     timings.update(_TIMINGS)
+    history = list(previous.get("history", []))
+    history.append(
+        {
+            "recorded_at_unix": round(time.time(), 3),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "timings_seconds": dict(sorted(_TIMINGS.items())),
+        }
+    )
     payload = {
-        "schema_version": 1,
+        "schema_version": 2,
         "recorded_at_unix": round(time.time(), 3),
         "python": platform.python_version(),
         "platform": platform.platform(),
         "timings_seconds": dict(sorted(timings.items())),
+        "history": history[-HISTORY_LIMIT:],
     }
     BENCH_RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")

@@ -2,51 +2,49 @@
 
 Run with::
 
-    python examples/reproduce_all.py [--fast]
+    python examples/reproduce_all.py [--fast] [--workers N]
 
-Executes each table/figure runner at the default bench scale (a 1:25
-model of the paper's populations; ``--fast`` uses a smaller world) and
-writes ``results/<experiment>.txt`` plus a combined
-``results/summary.txt`` with every headline metric -- the raw material
-for EXPERIMENTS.md.
+Executes the full battery through the dependency-aware orchestrator
+(:mod:`repro.report.orchestrator`): the simulated world is built once
+in the content-addressed world store and shared -- frozen -- by every
+runner, with copy-on-write views isolating the runners that mutate
+site or network state.  ``--workers N`` fans independent experiments
+out across a worker pool; results are bit-identical for any worker
+count.  Writes ``results/<experiment>.txt`` per experiment, a combined
+``results/summary.txt`` with every headline metric (the raw material
+for EXPERIMENTS.md), and a machine-readable ``results/TIMINGS.json``
+with the per-experiment wall-clock trajectory.
 """
 
 from __future__ import annotations
 
+import argparse
+import gc
+import json
 import pathlib
-import sys
 import time
 
-from repro.report.experiments import (
-    build_longitudinal_bundle,
-    run_change_taxonomy,
-    run_ext_adoption_by_category,
-    run_survey_crosstabs,
-    run_tables9_12_codebooks,
-    run_appb2_parser_comparison,
-    run_figure2,
-    run_figure3,
-    run_figure4,
-    run_sec22_meta_tags,
-    run_sec62_active_blocking,
-    run_sec63_cloudflare,
-    run_sec81_mistakes,
-    run_survey_tables,
-    run_table1_compliance,
-    run_table2_artists,
-    run_table3,
-)
-from repro.web import PopulationConfig, build_web_population
+from repro.report.experiments import build_longitudinal_bundle
+from repro.report.orchestrator import run_all
+from repro.web import PopulationConfig
+from repro.web.worldstore import shared_world_store
 
 RESULTS = pathlib.Path(__file__).resolve().parent.parent / "results"
 
 
 def main() -> None:
-    fast = "--fast" in sys.argv
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true",
+                        help="use a smaller world for a quick run")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="experiment worker pool size (default 4; "
+                             "any count yields byte-identical results)")
+    args = parser.parse_args()
+
     config = (
         PopulationConfig(universe_size=1500, list_size=1000, top5k_cut=120,
                          audit_size=400)
-        if fast
+        if args.fast
         else PopulationConfig()
     )
     RESULTS.mkdir(exist_ok=True)
@@ -56,42 +54,39 @@ def main() -> None:
         "",
     ]
 
-    print("building longitudinal world...")
-    bundle = build_longitudinal_bundle(config)
-    population = build_web_population(config)
+    print("building shared world (longitudinal bundle + audit population)...")
+    store = shared_world_store()
+    world_start = time.perf_counter()
+    build_longitudinal_bundle(config, workers=args.workers, store=store)
+    world_seconds = time.perf_counter() - world_start
+    # The stored world is frozen and pinned for the life of the run, so
+    # exclude it from cycle tracing: without this, every collection (and
+    # scipy's import, which triggers many) walks millions of dead-weight
+    # substrate objects.
+    gc.collect()
+    gc.freeze()
+    report = run_all(config, workers=args.workers, store=store,
+                     collect_workers=args.workers)
+    print(f"world ready in {world_seconds:.1f}s "
+          f"[mode={report.mode}, workers={report.workers}]")
 
-    runners = [
-        ("table1", lambda: run_table1_compliance()),
-        ("figure2", lambda: run_figure2(bundle)),
-        ("figure3", lambda: run_figure3(bundle)),
-        ("figure4", lambda: run_figure4(bundle)),
-        ("table3", lambda: run_table3(bundle)),
-        ("table2", lambda: run_table2_artists()),
-        ("sec62", lambda: run_sec62_active_blocking(population=population)),
-        ("sec63", lambda: run_sec63_cloudflare(population=population)),
-        ("sec22", lambda: run_sec22_meta_tags(population=population)),
-        ("survey", lambda: run_survey_tables()),
-        ("appb2", lambda: run_appb2_parser_comparison(population=population)),
-        ("sec81", lambda: run_sec81_mistakes(population=population)),
-        ("tables9_12", lambda: run_tables9_12_codebooks()),
-        ("crosstabs", lambda: run_survey_crosstabs()),
-        ("taxonomy", lambda: run_change_taxonomy(bundle)),
-        ("category", lambda: run_ext_adoption_by_category(bundle)),
-    ]
-
-    for name, runner in runners:
-        start = time.time()
-        result = runner()
-        elapsed = time.time() - start
+    timings = report.to_json()["experiments"]
+    for entry, result in zip(timings, report.results):
         (RESULTS / f"{result.experiment_id}.txt").write_text(result.text + "\n")
-        print(f"  {name:10s} done in {elapsed:5.1f}s -> results/{result.experiment_id}.txt")
+        print(f"  {entry['key']:10s} done in {entry['seconds']:5.1f}s "
+              f"-> results/{result.experiment_id}.txt")
         summary_lines.append(f"[{result.experiment_id}] {result.title}")
         for metric, value in sorted(result.metrics.items()):
             summary_lines.append(f"    {metric} = {value:.4f}")
         summary_lines.append("")
 
     (RESULTS / "summary.txt").write_text("\n".join(summary_lines) + "\n")
+    (RESULTS / "TIMINGS.json").write_text(
+        json.dumps(report.to_json(), indent=2) + "\n"
+    )
     print(f"\nwrote {RESULTS / 'summary.txt'}")
+    print(f"wrote {RESULTS / 'TIMINGS.json'} "
+          f"(total {report.total_seconds:.1f}s)")
 
 
 if __name__ == "__main__":

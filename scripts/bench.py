@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Guarded benchmark runner with a perf-trajectory regression gate.
+
+Runs the tier-1 test suite first (a bench timing from broken code is
+worthless), then the full benchmark battery, then diffs this run's
+timings against the previous ``history`` entry in
+``benchmarks/output/BENCH_RESULTS.json`` and fails when any bench
+regressed beyond the threshold.
+
+Usage::
+
+    python scripts/bench.py [--threshold 0.25] [--min-seconds 0.05]
+                            [--skip-tests] [-k EXPR]
+
+Exit codes: 0 clean, 1 perf regression, 2 tests or benches failed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+RESULTS = REPO / "benchmarks" / "output" / "BENCH_RESULTS.json"
+
+
+def _load_last_history() -> dict:
+    """This moment's most recent per-run timings (pre-run baseline)."""
+    if not RESULTS.exists():
+        return {}
+    try:
+        payload = json.loads(RESULTS.read_text())
+    except (ValueError, OSError):
+        return {}
+    history = payload.get("history", [])
+    if history:
+        return dict(history[-1].get("timings_seconds", {}))
+    # Schema v1 files carry only the merged map; use it as the baseline.
+    return dict(payload.get("timings_seconds", {}))
+
+
+def _pytest(args: list, env_path: str) -> int:
+    command = [sys.executable, "-m", "pytest", *args]
+    print(f"$ {' '.join(command)}", flush=True)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = env_path + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.call(command, cwd=REPO, env=env)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="fail when a bench slows by more than this "
+                             "fraction vs the previous run (default 0.25)")
+    parser.add_argument("--min-seconds", type=float, default=0.05,
+                        help="ignore benches faster than this in both runs "
+                             "(timer noise floor, default 0.05s)")
+    parser.add_argument("--skip-tests", action="store_true",
+                        help="skip the tier-1 suite (bench-only iteration)")
+    parser.add_argument("-k", dest="keyword", default=None,
+                        help="forwarded to pytest -k for the bench run")
+    args = parser.parse_args()
+
+    if not args.skip_tests:
+        print("== tier-1 tests ==", flush=True)
+        if _pytest(["-x", "-q"], env_path=str(REPO / "src")) != 0:
+            print("tier-1 tests failed; not benchmarking broken code")
+            return 2
+
+    baseline = _load_last_history()
+
+    print("\n== benchmarks ==", flush=True)
+    bench_args = ["benchmarks", "-q"]
+    if args.keyword:
+        bench_args += ["-k", args.keyword]
+    if _pytest(bench_args, env_path=str(REPO / "src")) != 0:
+        print("benchmark run failed")
+        return 2
+
+    current = _load_last_history()
+    if not current:
+        print("no timings recorded; nothing to compare")
+        return 0
+
+    print("\n== perf trajectory (vs previous run) ==")
+    regressions = []
+    width = max((len(k) for k in current), default=0)
+    for nodeid in sorted(current):
+        now = current[nodeid]
+        prev = baseline.get(nodeid)
+        if prev is None:
+            print(f"  {nodeid:<{width}}  {now:8.3f}s  (new)")
+            continue
+        delta = (now - prev) / prev if prev > 0 else 0.0
+        flag = ""
+        if max(now, prev) >= args.min_seconds and delta > args.threshold:
+            flag = "  <-- REGRESSION"
+            regressions.append((nodeid, prev, now, delta))
+        print(f"  {nodeid:<{width}}  {now:8.3f}s  "
+              f"(prev {prev:.3f}s, {delta:+.0%}){flag}")
+
+    if regressions:
+        print(f"\n{len(regressions)} bench(es) regressed more than "
+              f"{args.threshold:.0%}:")
+        for nodeid, prev, now, delta in regressions:
+            print(f"  {nodeid}: {prev:.3f}s -> {now:.3f}s ({delta:+.0%})")
+        return 1
+    print("\nno perf regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

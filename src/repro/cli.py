@@ -9,6 +9,7 @@ Installed as the ``repro`` console script::
     repro aitxt ai.txt /gallery/piece.png       # ai.txt training permission
     repro agents                                # the Table 1 registry
     repro experiment figure2 [--fast]           # run a paper experiment
+    repro reproduce --workers 4 [--fast]        # run the whole battery
 """
 
 from __future__ import annotations
@@ -27,8 +28,9 @@ from .report.tables import render_table
 
 __all__ = ["main", "build_parser"]
 
-#: Experiments runnable from the CLI, mapped lazily to avoid paying the
-#: import cost for the lightweight subcommands.
+#: Experiments runnable from the CLI (the orchestrator registry keys,
+#: spelled out so the lightweight subcommands never import the heavy
+#: report stack just to build the argparse tree).
 EXPERIMENT_IDS = [
     "table1", "table2", "table3", "figure2", "figure3", "figure4",
     "sec22", "sec62", "sec63", "sec81", "appb2", "survey",
@@ -73,6 +75,19 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("experiment_id", choices=EXPERIMENT_IDS)
     experiment.add_argument("--fast", action="store_true",
                             help="use a small population for a quick run")
+
+    reproduce = sub.add_parser(
+        "reproduce",
+        help="run the whole experiment battery over one shared world",
+    )
+    reproduce.add_argument("--fast", action="store_true",
+                           help="use a small population for a quick run")
+    reproduce.add_argument("--workers", type=int, default=1,
+                           help="experiment worker pool size (results are "
+                                "bit-identical for any count)")
+    reproduce.add_argument("--only", nargs="*", metavar="ID",
+                           choices=EXPERIMENT_IDS, default=None,
+                           help="run only these experiments")
 
     serve = sub.add_parser("serve", help="serve a directory over localhost HTTP")
     serve.add_argument("directory")
@@ -164,53 +179,44 @@ def _cmd_agents(_: argparse.Namespace) -> int:
     return 0
 
 
+def _fast_config():
+    from .web.population import PopulationConfig
+
+    return PopulationConfig(universe_size=1200, list_size=800, top5k_cut=100,
+                            audit_size=300)
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    from .report import experiments as exp
-    from .web.population import PopulationConfig, build_web_population
+    from .report.orchestrator import run_one
 
-    config = (
-        PopulationConfig(universe_size=1200, list_size=800, top5k_cut=100,
-                         audit_size=300)
-        if args.fast
-        else None
+    result = run_one(
+        args.experiment_id, config=_fast_config() if args.fast else None
     )
-
-    eid = args.experiment_id
-    if eid in ("figure2", "figure3", "figure4", "table3", "taxonomy", "category"):
-        bundle = exp.build_longitudinal_bundle(config)
-        runner = {
-            "figure2": exp.run_figure2,
-            "figure3": exp.run_figure3,
-            "figure4": exp.run_figure4,
-            "table3": exp.run_table3,
-            "taxonomy": exp.run_change_taxonomy,
-            "category": exp.run_ext_adoption_by_category,
-        }[eid]
-        result = runner(bundle)
-    elif eid in ("sec22", "sec62", "sec63", "appb2", "sec81"):
-        population = build_web_population(config)
-        runner = {
-            "sec22": exp.run_sec22_meta_tags,
-            "sec62": exp.run_sec62_active_blocking,
-            "sec63": exp.run_sec63_cloudflare,
-            "appb2": exp.run_appb2_parser_comparison,
-            "sec81": exp.run_sec81_mistakes,
-        }[eid]
-        result = runner(population=population)
-    elif eid == "table1":
-        result = exp.run_table1_compliance()
-    elif eid == "table2":
-        result = exp.run_table2_artists()
-    elif eid == "tables9_12":
-        result = exp.run_tables9_12_codebooks()
-    elif eid == "crosstabs":
-        result = exp.run_survey_crosstabs()
-    else:
-        result = exp.run_survey_tables()
     print(result.text)
     print("\nmetrics:")
     for name, value in sorted(result.metrics.items()):
         print(f"  {name} = {value:.4f}")
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from .report.orchestrator import run_all
+
+    report = run_all(
+        config=_fast_config() if args.fast else None,
+        workers=args.workers,
+        experiments=args.only,
+        collect_workers=args.workers,
+    )
+    for result in report.results:
+        print(f"== {result.title} ==")
+        print(result.text)
+        print()
+    print(f"ran {len(report.results)} experiment(s) "
+          f"[mode={report.mode}, workers={report.workers}] "
+          f"world {report.world_seconds:.1f}s, total {report.total_seconds:.1f}s")
+    for entry in report.to_json()["experiments"]:
+        print(f"  {entry['key']:12s} {entry['seconds']:.2f}s")
     return 0
 
 
@@ -243,6 +249,7 @@ _HANDLERS = {
     "aitxt": _cmd_aitxt,
     "agents": _cmd_agents,
     "experiment": _cmd_experiment,
+    "reproduce": _cmd_reproduce,
     "serve": _cmd_serve,
 }
 

@@ -164,6 +164,7 @@ class CompiledPolicyCache:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._by_digest: Dict[str, CompiledRobots] = {}
+        self._by_source: Dict[Union[str, bytes], CompiledRobots] = {}
         self.hits = 0
         self.misses = 0
 
@@ -172,23 +173,35 @@ class CompiledPolicyCache:
 
     def policy(self, source: Union[str, bytes]) -> CompiledRobots:
         """The compiled policy for *source*, compiling on first sight."""
+        with self._lock:
+            # Exact-text fast path: CPython caches str hashes and the
+            # crawl pipelines intern bodies, so for the hot repeated
+            # queries this is a plain dict probe with no SHA-256 pass.
+            cached = self._by_source.get(source)
+            if cached is not None:
+                self.hits += 1
+                return cached
         key = policy_digest(source)
         with self._lock:
             cached = self._by_digest.get(key)
             if cached is not None:
                 self.hits += 1
+                self._by_source[source] = cached
                 return cached
             self.misses += 1
         compiled = CompiledRobots(source)
         with self._lock:
             # setdefault: a racing thread may have compiled the same
             # body; both results are equivalent, keep the first.
-            return self._by_digest.setdefault(key, compiled)
+            compiled = self._by_digest.setdefault(key, compiled)
+            self._by_source[source] = compiled
+            return compiled
 
     def clear(self) -> None:
         """Drop every cached policy and reset the hit/miss counters."""
         with self._lock:
             self._by_digest.clear()
+            self._by_source.clear()
             self.hits = 0
             self.misses = 0
 

@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from .classify import RestrictionLevel, classify, explicitly_allows
-from .policy import RobotsPolicy
+from .compiled import shared_policy_cache
 from .serialize import agents_mentioned
 
 __all__ = ["AgentChange", "RobotsDiff", "diff_robots", "ChangeKind", "classify_change"]
@@ -111,30 +111,35 @@ def diff_robots(
     diff.agents_added = sorted(a for a in named_after - named_before if a != "*")
     diff.agents_removed = sorted(a for a in named_before - named_after if a != "*")
 
+    # Each version is parsed at most once per process: the shared
+    # content-addressed compile cache hands back one memoized policy per
+    # distinct body, so probing N agents costs one parse, not N.
+    cache = shared_policy_cache()
+    policy_before = cache.policy(before) if before is not None else None
+    policy_after = cache.policy(after) if after is not None else None
+
     for agent in probe_agents:
-        level_before = classify(before, agent).level
-        level_after = classify(after, agent).level
+        level_before = classify(policy_before, agent).level
+        level_after = classify(policy_after, agent).level
         if level_before is not level_after:
             diff.changes.append(AgentChange(agent, level_before, level_after))
-        allowed_before = before is not None and explicitly_allows(before, agent)
-        allowed_after = after is not None and explicitly_allows(after, agent)
+        allowed_before = policy_before is not None and explicitly_allows(policy_before, agent)
+        allowed_after = policy_after is not None and explicitly_allows(policy_after, agent)
         if allowed_after and not allowed_before:
             diff.allow_gained.append(agent)
 
     # Wildcard comparison is structural (the effective rule multiset of
     # the "*" groups) so arbitrary path edits are caught, with probe
     # paths as a belt-and-braces semantic check.
-    def wildcard_rules(text: Optional[str]):
-        if text is None:
+    def wildcard_rules(policy):
+        if policy is None:
             return None
-        rules = RobotsPolicy(text).rules_for("generic-probe-bot").rules
+        rules = policy.rules_for("generic-probe-bot").rules
         return sorted((rule.allow, rule.path) for rule in rules if rule.path)
 
-    if wildcard_rules(before) != wildcard_rules(after):
+    if wildcard_rules(policy_before) != wildcard_rules(policy_after):
         diff.wildcard_changed = True
     else:
-        policy_before = RobotsPolicy(before) if before is not None else None
-        policy_after = RobotsPolicy(after) if after is not None else None
         for path in _WILDCARD_PROBES:
             verdict_before = (
                 policy_before.is_allowed("generic-probe-bot", path)

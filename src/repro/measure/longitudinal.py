@@ -289,8 +289,16 @@ def allow_and_removal_trend(
     trend = AllowRemovalTrend()
     cache = series.cache
 
+    # Bodies repeat across snapshots (most sites never change), so the
+    # any-agent sweep runs once per distinct body, not once per month.
+    _allows_memo: Dict[str, bool] = {}
+
     def allows_any(body: str) -> bool:
-        return any(cache.explicitly_allows(body, agent) for agent in agents)
+        cached = _allows_memo.get(body)
+        if cached is None:
+            cached = any(cache.explicitly_allows(body, agent) for agent in agents)
+            _allows_memo[body] = cached
+        return cached
 
     previous_restricted: Set[str] = set()
     first = True

@@ -11,7 +11,7 @@ seconds.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, Optional, Protocol
+from typing import Callable, Dict, Iterable, Iterator, Optional, Protocol
 
 from .errors import ConnectionRefused, ConnectionReset, DNSFailure
 from .http import Request, Response
@@ -53,6 +53,17 @@ class Network:
             if host is None:
                 raise ValueError("handler has no .host; pass host explicitly")
         self._handlers[host.lower()] = handler
+
+    def register_many(self, pairs: Iterable[tuple]) -> None:
+        """Bulk-register ``(handler, host)`` pairs.
+
+        The population materializer registers thousands of handlers per
+        snapshot; this path skips the per-call host inference and lets
+        the dict grow in one pass.
+        """
+        handlers = self._handlers
+        for handler, host in pairs:
+            handlers[host.lower()] = handler
 
     def unregister(self, host: str) -> None:
         """Remove the handler for *host* (missing hosts are a no-op)."""

@@ -12,7 +12,7 @@ uses them to regenerate EXPERIMENTS.md data.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, TYPE_CHECKING, Tuple
 
 from ..agents.catalogs import generic_crawler_user_agents
 from ..agents.darkvisitors import AI_USER_AGENT_TOKENS, build_registry
@@ -58,6 +58,9 @@ from ..survey.analysis import analyze
 from ..survey.respondents import filter_valid, generate_respondents
 from ..web.artists import build_artist_population
 from ..web.population import PopulationConfig, WebPopulation, build_web_population
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..web.worldstore import WorldStore
 from .figures import ascii_chart, series_to_csv
 from .tables import render_table
 
@@ -199,13 +202,24 @@ class LongitudinalBundle:
 def build_longitudinal_bundle(
     config: Optional[PopulationConfig] = None,
     workers: Optional[int] = None,
+    store: Optional["WorldStore"] = None,
 ) -> LongitudinalBundle:
     """Build the Section 3 world and crawl all fifteen snapshots.
 
     *workers* is forwarded to
     :func:`~repro.measure.longitudinal.collect_snapshots`; any worker
     count yields a bit-identical series.
+
+    When *store* is given, the population and series come from the
+    content-addressed :class:`~repro.web.worldstore.WorldStore`: the
+    world is built at most once per config digest and shared (frozen)
+    across every consumer, with bit-identical outputs.
     """
+    if store is not None:
+        return LongitudinalBundle(
+            population=store.population(config),
+            series=store.series(config, workers=workers),
+        )
     population = build_web_population(config or PopulationConfig())
     series = collect_snapshots(population, workers=workers)
     return LongitudinalBundle(population=population, series=series)
@@ -713,20 +727,30 @@ def run_change_taxonomy(bundle: LongitudinalBundle) -> ExperimentResult:
     """
     from ..core.diff import ChangeKind, classify_change
 
+    # Group consecutive-snapshot transitions by unique (before, after)
+    # body pair and classify each distinct pair exactly once.  Bodies
+    # are interned across the series, so the dominant case -- no edit
+    # between snapshots -- collapses to one identical-pair entry per
+    # body, and identical text is NO_CHANGE by definition (an empty
+    # semantic diff) without running the differ at all.  The tallies
+    # are identical to the per-domain per-transition formulation.
+    series = bundle.series
+    pair_counts: Dict[Tuple[Optional[str], Optional[str]], int] = {}
+    body_rows = [series.analysis_bodies(snapshot) for snapshot in series.snapshots]
+    for previous_row, current_row in zip(body_rows, body_rows[1:]):
+        for pair in zip(previous_row, current_row):
+            pair_counts[pair] = pair_counts.get(pair, 0) + 1
+
     counts: Dict[ChangeKind, int] = {kind: 0 for kind in ChangeKind}
     transitions = 0
-    for domain in bundle.series.analysis_domains:
-        previous_text: Optional[str] = None
-        first = True
-        for snapshot in bundle.series.snapshots:
-            text = bundle.series.robots_for(domain, snapshot)
-            if not first:
-                kind = classify_change(previous_text, text, AI_USER_AGENT_TOKENS)
-                if kind is not ChangeKind.NO_CHANGE:
-                    transitions += 1
-                counts[kind] += 1
-            previous_text = text
-            first = False
+    for (previous_text, text), n in pair_counts.items():
+        if previous_text == text:
+            kind = ChangeKind.NO_CHANGE
+        else:
+            kind = classify_change(previous_text, text, AI_USER_AGENT_TOKENS)
+        if kind is not ChangeKind.NO_CHANGE:
+            transitions += n
+        counts[kind] += n
     rows = [(kind.value, counts[kind]) for kind in ChangeKind]
     text = render_table(
         ["change kind", "snapshot transitions"], rows,

@@ -1,0 +1,320 @@
+"""Dependency-aware parallel experiment orchestrator.
+
+The paper's artifact is ~16 independent measurements over one shared
+world.  This module declares each runner's world dependency in a
+registry and executes any subset of the battery -- sequentially or
+across a worker pool -- on top of the content-addressed
+:class:`~repro.web.worldstore.WorldStore`:
+
+* the **longitudinal bundle** (population + fifteen crawled snapshots)
+  is built once and shared read-only by the Figure 2-4 / Table 3 /
+  extension runners,
+* **audit-population** runners (Sections 6.2/6.3/2.2, Appendix B.2,
+  Section 8.1) each receive their own copy-on-write view of the same
+  frozen population, so one runner's mutations (handler registration,
+  attribute edits) can never surface in a sibling's view,
+* **standalone** runners (survey, Table 1/2) need no world at all.
+
+Scheduling never affects results: runners draw everything from seeded
+inputs and isolated views, results are assembled in registry order
+regardless of completion order, and ``workers=1`` vs ``workers=N``
+outputs are bit-identical (enforced by
+``tests/report/test_orchestrator.py``).  ``run_all`` returns a
+machine-readable :class:`RunReport` with per-experiment wall-clock
+timings for the perf trajectory.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..web.population import PopulationConfig
+from ..web.worldstore import WorldStore, shared_world_store
+from . import experiments as exp
+from .experiments import ExperimentResult, LongitudinalBundle
+
+__all__ = [
+    "ExperimentSpec",
+    "EXPERIMENT_REGISTRY",
+    "experiment_keys",
+    "RunReport",
+    "run_all",
+    "run_one",
+]
+
+#: World dependency labels.
+WORLD_BUNDLE = "bundle"
+WORLD_POPULATION = "population"
+WORLD_NONE = "none"
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One registry entry.
+
+    Attributes:
+        key: CLI-facing identifier (``repro experiment <key>``).
+        result_id: ``ExperimentResult.experiment_id`` the runner emits
+            (also the ``results/<result_id>.txt`` artifact name).
+        title: Short human-readable title.
+        world: ``"bundle"``, ``"population"``, or ``"none"`` -- what
+            the runner consumes.
+        run: The runner; receives the world (or nothing) and returns an
+            :class:`ExperimentResult`.
+    """
+
+    key: str
+    result_id: str
+    title: str
+    world: str
+    run: Callable[..., ExperimentResult]
+
+
+EXPERIMENT_REGISTRY: Tuple[ExperimentSpec, ...] = (
+    ExperimentSpec("table1", "table1", "AI crawler compliance (Table 1)",
+                   WORLD_NONE, lambda: exp.run_table1_compliance()),
+    ExperimentSpec("figure2", "figure2", "Full-disallow trend (Figure 2)",
+                   WORLD_BUNDLE, exp.run_figure2),
+    ExperimentSpec("figure3", "figure3", "Per-agent disallow trend (Figure 3)",
+                   WORLD_BUNDLE, exp.run_figure3),
+    ExperimentSpec("figure4", "figure4", "Explicit allows & removals (Figure 4)",
+                   WORLD_BUNDLE, exp.run_figure4),
+    ExperimentSpec("table3", "table3", "Snapshot coverage (Table 3)",
+                   WORLD_BUNDLE, exp.run_table3),
+    ExperimentSpec("table2", "table2", "Artist hosting providers (Table 2)",
+                   WORLD_NONE, lambda: exp.run_table2_artists()),
+    ExperimentSpec("sec62", "sec62", "Active blocking prevalence (Section 6.2)",
+                   WORLD_POPULATION,
+                   lambda population: exp.run_sec62_active_blocking(population=population)),
+    ExperimentSpec("sec63", "sec63", "Cloudflare Block AI Bots (Section 6.3)",
+                   WORLD_POPULATION,
+                   lambda population: exp.run_sec63_cloudflare(population=population)),
+    ExperimentSpec("sec22", "sec22", "NoAI meta tags (Section 2.2)",
+                   WORLD_POPULATION,
+                   lambda population: exp.run_sec22_meta_tags(population=population)),
+    ExperimentSpec("survey", "survey", "Artist survey (Tables 5-8)",
+                   WORLD_NONE, lambda: exp.run_survey_tables()),
+    ExperimentSpec("appb2", "appb2", "Parser comparison (Appendix B.2)",
+                   WORLD_POPULATION,
+                   lambda population: exp.run_appb2_parser_comparison(population=population)),
+    ExperimentSpec("sec81", "sec81", "robots.txt mistakes (Section 8.1)",
+                   WORLD_POPULATION,
+                   lambda population: exp.run_sec81_mistakes(population=population)),
+    ExperimentSpec("tables9_12", "tables9_12", "Thematic codebooks (Tables 9-12)",
+                   WORLD_NONE, lambda: exp.run_tables9_12_codebooks()),
+    ExperimentSpec("crosstabs", "survey_crosstabs", "Survey association tests",
+                   WORLD_NONE, lambda: exp.run_survey_crosstabs()),
+    ExperimentSpec("taxonomy", "change_taxonomy", "robots.txt change taxonomy",
+                   WORLD_BUNDLE, exp.run_change_taxonomy),
+    ExperimentSpec("category", "ext_adoption_by_category", "Adoption by category",
+                   WORLD_BUNDLE, exp.run_ext_adoption_by_category),
+)
+
+_BY_KEY: Dict[str, ExperimentSpec] = {spec.key: spec for spec in EXPERIMENT_REGISTRY}
+
+
+def experiment_keys() -> List[str]:
+    """Registry keys in canonical (report) order."""
+    return [spec.key for spec in EXPERIMENT_REGISTRY]
+
+
+# -- timing report -------------------------------------------------------------
+
+
+@dataclass
+class RunReport:
+    """The outcome of one :func:`run_all` invocation.
+
+    Attributes:
+        results: One :class:`ExperimentResult` per requested experiment,
+            in registry order (scheduling never reorders them).
+        timings_seconds: Per-experiment measurement wall clock, keyed by
+            registry key.
+        world_seconds: Wall clock spent building (or hitting the cache
+            for) the shared worlds before any runner started.
+        workers: Worker count the battery ran with.
+        mode: Execution mode actually used ("serial", "thread",
+            "process").
+    """
+
+    results: List[ExperimentResult] = field(default_factory=list)
+    timings_seconds: Dict[str, float] = field(default_factory=dict)
+    world_seconds: float = 0.0
+    total_seconds: float = 0.0
+    workers: int = 1
+    mode: str = "serial"
+
+    def result_for(self, key: str) -> ExperimentResult:
+        """The result for registry *key* (KeyError if not run)."""
+        spec = _BY_KEY[key]
+        for result in self.results:
+            if result.experiment_id == spec.result_id:
+                return result
+        raise KeyError(key)
+
+    def to_json(self) -> Dict[str, object]:
+        """Machine-readable timing payload (for results/TIMINGS.json)."""
+        return {
+            "schema_version": 1,
+            "mode": self.mode,
+            "workers": self.workers,
+            "world_seconds": round(self.world_seconds, 6),
+            "total_seconds": round(self.total_seconds, 6),
+            "experiments": [
+                {
+                    "key": spec.key,
+                    "experiment_id": spec.result_id,
+                    "title": spec.title,
+                    "world": spec.world,
+                    "seconds": round(self.timings_seconds.get(spec.key, 0.0), 6),
+                }
+                for spec in EXPERIMENT_REGISTRY
+                if spec.key in self.timings_seconds
+            ],
+        }
+
+
+# -- execution -----------------------------------------------------------------
+
+
+@dataclass
+class _RunContext:
+    """Everything a worker needs; inherited by forked children."""
+
+    config: Optional[PopulationConfig]
+    store: WorldStore
+    bundle: Optional[LongitudinalBundle]
+
+
+#: Set by :func:`run_all` before any pool spawns so fork-based workers
+#: inherit the built world instead of pickling it.
+_WORKER_CONTEXT: Optional[_RunContext] = None
+
+
+def _execute_experiment(key: str) -> Tuple[str, float, ExperimentResult]:
+    """Run one experiment against the ambient context (worker entry)."""
+    context = _WORKER_CONTEXT
+    assert context is not None, "run_all must establish the context first"
+    spec = _BY_KEY[key]
+    start = time.perf_counter()
+    if spec.world == WORLD_BUNDLE:
+        result = spec.run(context.bundle)
+    elif spec.world == WORLD_POPULATION:
+        # Every population runner gets its own copy-on-write view: its
+        # mutations (handler registration, attribute edits) live and die
+        # with the view, never in a sibling's world.
+        result = spec.run(context.store.population_view(context.config))
+    else:
+        result = spec.run()
+    return key, time.perf_counter() - start, result
+
+
+def _resolve_mode(mode: str, workers: int) -> str:
+    if workers <= 1:
+        return "serial"
+    if mode != "auto":
+        return mode
+    # Processes only pay off with real cores and a fork start method
+    # (children must inherit the built world, not re-pickle it).
+    if (os.cpu_count() or 1) > 1 and "fork" in multiprocessing.get_all_start_methods():
+        return "process"
+    return "thread"
+
+
+def run_all(
+    config: Optional[PopulationConfig] = None,
+    workers: Optional[int] = None,
+    experiments: Optional[Sequence[str]] = None,
+    store: Optional[WorldStore] = None,
+    mode: str = "auto",
+    collect_workers: Optional[int] = None,
+) -> RunReport:
+    """Run the experiment battery over one shared world.
+
+    Args:
+        config: Population config (None = the paper's default scale).
+        workers: Worker pool size (None/1 = sequential).  Results are
+            bit-identical for any worker count.
+        experiments: Registry keys to run (None = the full battery), in
+            any order; results always come back in registry order.
+        store: World store to draw from (default: the process-wide
+            shared store, so repeated invocations hit the cache).
+        mode: "auto" (processes when forking onto multiple cores is
+            possible, else threads), "thread", or "process".
+        collect_workers: Parallelism for the snapshot crawl when the
+            bundle has to be built (forwarded to
+            :func:`~repro.measure.longitudinal.collect_snapshots`).
+
+    Returns:
+        A :class:`RunReport` with results in registry order plus the
+        per-experiment timing trajectory.
+    """
+    global _WORKER_CONTEXT
+    store = store or shared_world_store()
+    keys = list(experiments) if experiments is not None else experiment_keys()
+    unknown = [k for k in keys if k not in _BY_KEY]
+    if unknown:
+        raise KeyError(f"unknown experiment key(s): {', '.join(unknown)}")
+    specs = [_BY_KEY[k] for k in keys]
+    ordered = [spec.key for spec in EXPERIMENT_REGISTRY if spec.key in set(keys)]
+
+    total_start = time.perf_counter()
+    world_start = time.perf_counter()
+    bundle: Optional[LongitudinalBundle] = None
+    if any(spec.world == WORLD_BUNDLE for spec in specs):
+        bundle = exp.build_longitudinal_bundle(
+            config, workers=collect_workers, store=store
+        )
+    elif any(spec.world == WORLD_POPULATION for spec in specs):
+        store.population(config)  # warm the substrate once, up front
+    world_seconds = time.perf_counter() - world_start
+
+    n_workers = max(1, workers or 1)
+    resolved = _resolve_mode(mode, min(n_workers, len(ordered)))
+    _WORKER_CONTEXT = _RunContext(config=config, store=store, bundle=bundle)
+    try:
+        if resolved == "serial":
+            outcomes = [_execute_experiment(key) for key in ordered]
+        elif resolved == "process":
+            context = multiprocessing.get_context("fork")
+            with ProcessPoolExecutor(
+                max_workers=n_workers, mp_context=context
+            ) as pool:
+                outcomes = list(pool.map(_execute_experiment, ordered))
+        else:
+            with ThreadPoolExecutor(max_workers=n_workers) as pool:
+                # map preserves submission order regardless of
+                # completion order, so parallelism cannot reorder or
+                # interleave the assembled report.
+                outcomes = list(pool.map(_execute_experiment, ordered))
+    finally:
+        _WORKER_CONTEXT = None
+
+    report = RunReport(workers=n_workers, mode=resolved, world_seconds=world_seconds)
+    for key, seconds, result in outcomes:
+        report.timings_seconds[key] = seconds
+        report.results.append(result)
+    report.total_seconds = time.perf_counter() - total_start
+    return report
+
+
+def run_one(
+    key: str,
+    config: Optional[PopulationConfig] = None,
+    store: Optional[WorldStore] = None,
+    collect_workers: Optional[int] = None,
+) -> ExperimentResult:
+    """Run a single experiment by registry key over the shared store."""
+    report = run_all(
+        config,
+        workers=1,
+        experiments=[key],
+        store=store,
+        collect_workers=collect_workers,
+    )
+    return report.results[0]

@@ -23,6 +23,13 @@ from .population import PopulationConfig, WebPopulation, build_web_population
 from .providers import TOP_PROVIDERS, HostingProvider, RobotsControl, provider_by_name
 from .site import BlockingConfig, SimSite
 from .tranco import RankingModel, stable_sites
+from .worldstore import (
+    WorldStore,
+    clone_population,
+    config_digest,
+    freeze_population,
+    shared_world_store,
+)
 
 __all__ = [
     "SQUARESPACE_TOGGLE_RATE",
@@ -55,4 +62,9 @@ __all__ = [
     "SimSite",
     "RankingModel",
     "stable_sites",
+    "WorldStore",
+    "clone_population",
+    "config_digest",
+    "freeze_population",
+    "shared_world_store",
 ]

@@ -101,9 +101,17 @@ class WebPopulation:
     def materialize(
         self, network: Network, month: int, sites: Optional[List[SimSite]] = None
     ) -> None:
-        """Register handlers for *sites* (default: all stable) at *month*."""
-        for site in sites if sites is not None else self.stable:
-            network.register(site.build_handler(month), host=site.domain)
+        """Register handlers for *sites* (default: all stable) at *month*.
+
+        Handlers come from each site's per-robots-state cache (see
+        :meth:`SimSite.build_handler`), so repeated materializations --
+        across snapshots, runners, and world-store views -- reconstruct
+        ``Website``/proxy objects only for states never served before.
+        """
+        network.register_many(
+            (site.build_handler(month), site.domain)
+            for site in (sites if sites is not None else self.stable)
+        )
 
 
 def _pick_category(rng: random.Random) -> str:
@@ -294,6 +302,8 @@ def _assign_audit_attributes(site: SimSite, config: PopulationConfig) -> None:
 
 
 def _site_has_ai_robots(site: SimSite) -> bool:
+    # robots_at is memoized per (site, month), so the final-month text is
+    # resolved once per site no matter how many passes scan it.
     text = (site.robots_at(24) or "").lower()
     return any(
         token in text
@@ -314,8 +324,10 @@ def _assign_block_ai_quota(audit_sites: List[SimSite], config: PopulationConfig)
     cf_sites = [s for s in audit_sites if s.blocking.on_cloudflare]
     determinable = [s for s in cf_sites if not s.blocking.cf_custom_confound]
     target = max(1, round(config.p_cf_block_ai * len(determinable)))
-    with_robots = [s for s in determinable if _site_has_ai_robots(s)]
-    without = [s for s in determinable if not _site_has_ai_robots(s)]
+    # One scan of each site's final-month text feeds both partitions.
+    has_ai_robots = {s.domain: _site_has_ai_robots(s) for s in determinable}
+    with_robots = [s for s in determinable if has_ai_robots[s.domain]]
+    without = [s for s in determinable if not has_ai_robots[s.domain]]
     n_with = min(len(with_robots), max(1, round(0.24 * target)))
     chosen = _sample(rng, with_robots, n_with)
     chosen += _sample(rng, without, target - len(chosen))

@@ -13,6 +13,7 @@ pipelines interact with it -- over HTTP, not by reading attributes.
 from __future__ import annotations
 
 import bisect
+import copy
 from dataclasses import dataclass, field
 from typing import List, Optional, Set, Tuple
 
@@ -27,6 +28,16 @@ __all__ = ["BlockingConfig", "SimSite"]
 #: UA patterns a self-managed WAF blocks when a site "actively blocks
 #: Anthropic's crawlers" (the Section 6.2 population).
 ANTHROPIC_UA_PATTERNS = ("Claudebot", "anthropic-ai")
+
+#: Rebinding any of these fields invalidates the robots.txt lookup
+#: caches (key array + per-month memo) and the handler cache.
+_ROBOTS_FIELDS = frozenset({"robots_schedule", "missing_months"})
+#: Rebinding any of these fields invalidates only the handler cache
+#: (the served robots text is unaffected, the blocking layers are not).
+_HANDLER_FIELDS = frozenset({"blocking", "meta_noai", "meta_noimageai"})
+
+#: Cache-miss sentinel (``None`` is a legitimate cache key).
+_HANDLER_MISS = object()
 
 
 @dataclass
@@ -107,25 +118,101 @@ class SimSite:
     def __post_init__(self) -> None:
         self.robots_schedule.sort(key=lambda pair: pair[0])
 
+    # -- immutability and cache discipline ------------------------------------
+
+    def __setattr__(self, name: str, value: object) -> None:
+        state = self.__dict__
+        if state.get("_frozen", False):
+            raise AttributeError(
+                f"SimSite {state.get('domain', '?')!r} is frozen; "
+                f"cannot set {name!r} (mutate a world-store view instead)"
+            )
+        if name in _ROBOTS_FIELDS:
+            state.pop("_robots_keys", None)
+            state.pop("_robots_memo", None)
+            state.pop("_handler_cache", None)
+        elif name in _HANDLER_FIELDS:
+            state.pop("_handler_cache", None)
+        object.__setattr__(self, name, value)
+
+    @property
+    def frozen(self) -> bool:
+        """Whether the site has been frozen (immutable substrate)."""
+        return self.__dict__.get("_frozen", False)
+
+    def freeze(self) -> "SimSite":
+        """Make the site immutable: any further field set raises.
+
+        The world store freezes canonical populations so a cached world
+        can never be corrupted by one consumer's mutations.  Lazy caches
+        (robots key array, per-month memo, built handlers) still
+        populate on frozen sites -- they are derived, not state.
+        """
+        self.__dict__["_frozen"] = True
+        return self
+
+    def clone(self) -> "SimSite":
+        """An independently mutable copy sharing immutable payloads.
+
+        The clone shares robots.txt *text* objects, the lazily built
+        robots lookup caches, and the handler cache with its source --
+        all of which stay valid until the clone diverges, at which point
+        :meth:`__setattr__` drops the clone's (and only the clone's)
+        references.  This is the copy-on-write primitive behind world
+        store views.
+        """
+        blocking = copy.copy(self.blocking)
+        if blocking.cloudflare is not None:
+            blocking.cloudflare = copy.copy(blocking.cloudflare)
+        clone = SimSite(
+            domain=self.domain,
+            rank=self.rank,
+            tier=self.tier,
+            category=self.category,
+            publisher=self.publisher,
+            robots_schedule=list(self.robots_schedule),
+            missing_months=set(self.missing_months),
+            blocking=blocking,
+            meta_noai=self.meta_noai,
+            meta_noimageai=self.meta_noimageai,
+        )
+        # Seed the clone's caches from the source: reads share work,
+        # writes rebind fields and thereby detach the shared dicts.
+        state = self.__dict__
+        for cache in ("_robots_keys", "_robots_memo"):
+            if cache in state:
+                clone.__dict__[cache] = state[cache]
+        clone.__dict__["_handler_cache"] = state.setdefault("_handler_cache", {})
+        return clone
+
     # -- robots.txt over time -------------------------------------------------
 
     def robots_at(self, month: int) -> Optional[str]:
         """The robots.txt text in effect at *month* (None = absent)."""
         if month in self.missing_months:
             return None
-        months = [m for m, _ in self.robots_schedule]
-        index = bisect.bisect_right(months, month) - 1
-        if index < 0:
-            return None
-        return self.robots_schedule[index][1]
+        state = self.__dict__
+        memo = state.get("_robots_memo")
+        if memo is None:
+            memo = state["_robots_memo"] = {}
+        elif month in memo:
+            return memo[month]
+        keys = state.get("_robots_keys")
+        if keys is None:
+            keys = state["_robots_keys"] = [m for m, _ in self.robots_schedule]
+        index = bisect.bisect_right(keys, month) - 1
+        text = None if index < 0 else self.robots_schedule[index][1]
+        memo[month] = text
+        return text
 
     def set_robots(self, month: int, text: Optional[str]) -> None:
         """Record a robots.txt change landing at *month*."""
-        self.robots_schedule = [
-            (m, t) for m, t in self.robots_schedule if m != month
-        ]
-        self.robots_schedule.append((month, text))
-        self.robots_schedule.sort(key=lambda pair: pair[0])
+        schedule = [(m, t) for m, t in self.robots_schedule if m != month]
+        schedule.append((month, text))
+        schedule.sort(key=lambda pair: pair[0])
+        # Single rebind so the cache-invalidation hook fires exactly
+        # once, after the new schedule is fully assembled.
+        self.robots_schedule = schedule
 
     def change_months(self) -> List[int]:
         """Months at which the robots.txt changed."""
@@ -165,7 +252,27 @@ class SimSite:
         return site
 
     def build_handler(self, month: int) -> Handler:
-        """The servable handler at *month*: origin plus blocking layers."""
+        """The servable handler at *month*: origin plus blocking layers.
+
+        Handlers are memoized per effective robots.txt text: two months
+        serving the same text share one handler object, and repeated
+        materializations of the same month reuse it outright.  Serving
+        is response-stateless (logs and dashboards are append-only and
+        never read back by the population measurements), so a handler
+        can safely serve many networks, runners, and threads.  Rebinding
+        any field the handler depends on invalidates the cache (see
+        :meth:`__setattr__`).
+        """
+        cache = self.__dict__.setdefault("_handler_cache", {})
+        key = self.robots_at(month)
+        handler = cache.get(key, _HANDLER_MISS)
+        if handler is not _HANDLER_MISS:
+            return handler
+        handler = self._build_handler_uncached(month)
+        cache[key] = handler
+        return handler
+
+    def _build_handler_uncached(self, month: int) -> Handler:
         origin = self.build_origin(month)
         handler: Handler = origin
 

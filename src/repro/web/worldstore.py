@@ -1,0 +1,214 @@
+"""Content-addressed world store: one build, many experiments.
+
+The paper's artifact is a battery of ~16 independent measurements all
+run against the *same* simulated 2022-2024 web.  Building that world --
+monthly rankings, operator-model robots.txt schedules, audit attributes,
+fifteen crawled snapshots -- dominates wall-clock when every runner
+rebuilds it from scratch.  Following Common Crawl's practice of building
+one shared corpus that many analyses consume, this module turns the
+world into a cached, immutable substrate:
+
+* :func:`config_digest` derives a stable SHA-256 digest of a
+  :class:`~repro.web.population.PopulationConfig` (seed and nested
+  evolution parameters included) by canonicalizing the dataclass tree.
+* :class:`WorldStore` memoizes :func:`build_web_population` and
+  snapshot-series collection on that digest.  Canonical worlds are
+  **frozen** (every :class:`~repro.web.site.SimSite` rejects mutation)
+  so a cache hit can never observe another consumer's writes.
+* :meth:`WorldStore.population_view` hands out **copy-on-write views**:
+  per-site clones that share the heavy immutable payloads (robots.txt
+  text, lookup caches, built handlers) until a field is rebound, at
+  which point only the mutated clone detaches.  Runners that assign
+  audit attributes or register handlers mutate their view, never the
+  substrate.
+
+Determinism: a world is a pure function of its config (every sampler is
+seeded), so serving one build to many consumers is observationally
+identical to rebuilding per consumer -- enforced bit-for-bit by
+``tests/web/test_worldstore.py``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import threading
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from .population import PopulationConfig, WebPopulation, build_web_population
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..measure.longitudinal import SnapshotSeries
+
+__all__ = [
+    "config_digest",
+    "freeze_population",
+    "clone_population",
+    "WorldStore",
+    "shared_world_store",
+]
+
+
+def _canonicalize(value: object) -> object:
+    """A JSON-stable representation of a config value tree."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        payload: Dict[str, object] = {"__type__": type(value).__qualname__}
+        for spec in dataclasses.fields(value):
+            payload[spec.name] = _canonicalize(getattr(value, spec.name))
+        return payload
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        # repr round-trips doubles exactly; JSON float emission may not.
+        return {"__float__": repr(value)}
+    if isinstance(value, (list, tuple)):
+        return [_canonicalize(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return {"__set__": sorted(json.dumps(_canonicalize(v)) for v in value)}
+    if isinstance(value, dict):
+        return {
+            "__dict__": sorted(
+                (json.dumps(_canonicalize(k)), _canonicalize(v))
+                for k, v in value.items()
+            )
+        }
+    return {"__repr__": repr(value)}
+
+
+def config_digest(config: Optional[PopulationConfig] = None) -> str:
+    """A stable content digest of *config* (None = the default config).
+
+    Two configs digest equal iff every field -- including the seed and
+    the nested :class:`~repro.web.evolution.EvolutionParams` -- is
+    equal, so the digest is a sound cache key for built worlds.
+    """
+    canonical = _canonicalize(config or PopulationConfig())
+    blob = json.dumps(canonical, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def freeze_population(population: WebPopulation) -> WebPopulation:
+    """Freeze every site in *population* (see :meth:`SimSite.freeze`)."""
+    for site in population.by_domain.values():
+        site.freeze()
+    return population
+
+
+def clone_population(population: WebPopulation) -> WebPopulation:
+    """A copy-on-write view of *population*.
+
+    Every site is replaced by a :meth:`~repro.web.site.SimSite.clone`
+    (mutable, shares immutable payloads and handler caches until it
+    diverges); identity relations between ``stable``, ``stable_top5k``,
+    ``audit_sites``, and ``by_domain`` are preserved through the clone
+    map.  Container fields are fresh objects so list/dict-level edits
+    do not leak either.
+    """
+    clones = {domain: site.clone() for domain, site in population.by_domain.items()}
+    return WebPopulation(
+        config=population.config,
+        rankings={month: list(domains) for month, domains in population.rankings.items()},
+        stable=[clones[s.domain] for s in population.stable],
+        stable_top5k=[clones[s.domain] for s in population.stable_top5k],
+        audit_sites=[clones[s.domain] for s in population.audit_sites],
+        by_domain=clones,
+        deal_domains={k: list(v) for k, v in population.deal_domains.items()},
+        explicit_allow_domains=list(population.explicit_allow_domains),
+    )
+
+
+class WorldStore:
+    """Memoized, frozen worlds keyed by config digest.
+
+    >>> store = WorldStore()
+    >>> a = store.population()
+    >>> b = store.population()
+    >>> a is b
+    True
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._populations: Dict[str, WebPopulation] = {}
+        self._series: Dict[str, "SnapshotSeries"] = {}
+        self.stats: Dict[str, int] = {
+            "population_builds": 0,
+            "population_hits": 0,
+            "series_builds": 0,
+            "series_hits": 0,
+        }
+
+    # -- worlds ---------------------------------------------------------------
+
+    def population(self, config: Optional[PopulationConfig] = None) -> WebPopulation:
+        """The frozen canonical population for *config* (built once).
+
+        The returned object is immutable; consumers that need to mutate
+        site state must take a :meth:`population_view`.
+        """
+        key = config_digest(config)
+        with self._lock:
+            population = self._populations.get(key)
+            if population is None:
+                self.stats["population_builds"] += 1
+                population = freeze_population(
+                    build_web_population(config or PopulationConfig())
+                )
+                self._populations[key] = population
+            else:
+                self.stats["population_hits"] += 1
+            return population
+
+    def population_view(
+        self, config: Optional[PopulationConfig] = None
+    ) -> WebPopulation:
+        """A fresh copy-on-write view of the canonical population."""
+        return clone_population(self.population(config))
+
+    def series(
+        self,
+        config: Optional[PopulationConfig] = None,
+        workers: Optional[int] = None,
+    ) -> "SnapshotSeries":
+        """The crawled snapshot series over the canonical population.
+
+        *workers* parallelizes the first build (any worker count yields
+        a bit-identical series, so it is not part of the cache key).
+        The series is shared read-only: its snapshots are immutable
+        records and its internal memos are value-idempotent.
+        """
+        from ..measure.longitudinal import collect_snapshots
+
+        key = config_digest(config)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                self.stats["series_builds"] += 1
+                series = collect_snapshots(self.population(config), workers=workers)
+                self._series[key] = series
+            else:
+                self.stats["series_hits"] += 1
+            return series
+
+    # -- maintenance ----------------------------------------------------------
+
+    def cached_digests(self) -> List[str]:
+        """Digests of the populations currently held."""
+        with self._lock:
+            return sorted(self._populations)
+
+    def clear(self) -> None:
+        """Drop every cached world (frees the substrate memory)."""
+        with self._lock:
+            self._populations.clear()
+            self._series.clear()
+
+
+_SHARED_STORE = WorldStore()
+
+
+def shared_world_store() -> WorldStore:
+    """The process-wide store shared by the orchestrator, CLI, and
+    benchmark fixtures."""
+    return _SHARED_STORE

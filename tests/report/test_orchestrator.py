@@ -1,0 +1,116 @@
+"""Tests for the dependency-aware experiment orchestrator.
+
+The load-bearing property is scheduling-independence: ``run_all`` must
+produce bit-identical results for any worker count and any execution
+mode, with results always assembled in registry order.
+"""
+
+import pytest
+
+from repro.cli import EXPERIMENT_IDS
+from repro.report.orchestrator import (
+    EXPERIMENT_REGISTRY,
+    experiment_keys,
+    run_all,
+    run_one,
+)
+from repro.web.population import PopulationConfig
+from repro.web.worldstore import WorldStore
+
+SMALL = PopulationConfig(
+    universe_size=500, list_size=300, top5k_cut=40, audit_size=90, seed=7
+)
+
+#: A battery slice covering all three world dependencies: bundle
+#: (figure2, taxonomy), population (sec62, sec22), none (table1).
+SLICE = ["table1", "figure2", "sec62", "sec22", "taxonomy"]
+
+
+@pytest.fixture(scope="module")
+def store():
+    return WorldStore()
+
+
+class TestRegistry:
+    def test_registry_keys_match_the_cli(self):
+        assert sorted(experiment_keys()) == sorted(EXPERIMENT_IDS)
+
+    def test_keys_and_result_ids_are_unique(self):
+        keys = [spec.key for spec in EXPERIMENT_REGISTRY]
+        ids = [spec.result_id for spec in EXPERIMENT_REGISTRY]
+        assert len(set(keys)) == len(keys)
+        assert len(set(ids)) == len(ids)
+
+    def test_every_spec_declares_a_known_world(self):
+        assert {spec.world for spec in EXPERIMENT_REGISTRY} == {
+            "bundle", "population", "none"
+        }
+
+
+class TestSchedulingIndependence:
+    def test_workers_do_not_change_results(self, store):
+        serial = run_all(SMALL, workers=1, experiments=SLICE, store=store)
+        threaded = run_all(
+            SMALL, workers=4, experiments=SLICE, store=store, mode="thread"
+        )
+        assert serial.mode == "serial"
+        assert threaded.mode == "thread"
+        assert [r.experiment_id for r in serial.results] == [
+            r.experiment_id for r in threaded.results
+        ]
+        for a, b in zip(serial.results, threaded.results):
+            assert a.text == b.text
+            assert a.metrics == b.metrics
+
+    def test_results_come_back_in_registry_order(self, store):
+        shuffled = ["taxonomy", "table1", "sec62", "figure2"]
+        report = run_all(SMALL, workers=1, experiments=shuffled, store=store)
+        expected = [k for k in experiment_keys() if k in shuffled]
+        assert list(report.timings_seconds) == expected
+
+    def test_population_runners_repeat_identically(self, store):
+        # Each invocation gets a fresh copy-on-write view, so a prior
+        # run's handler registrations cannot perturb the next.
+        first = run_all(SMALL, workers=1, experiments=["sec62"], store=store)
+        second = run_all(SMALL, workers=1, experiments=["sec62"], store=store)
+        assert first.results[0].text == second.results[0].text
+
+    def test_unknown_key_raises(self, store):
+        with pytest.raises(KeyError):
+            run_all(SMALL, experiments=["nope"], store=store)
+
+
+class TestReport:
+    def test_report_json_shape(self, store):
+        report = run_all(SMALL, workers=2, experiments=["table1", "figure2"],
+                         store=store, mode="thread")
+        payload = report.to_json()
+        assert payload["schema_version"] == 1
+        assert payload["mode"] == "thread"
+        assert payload["workers"] == 2
+        assert payload["world_seconds"] >= 0
+        assert payload["total_seconds"] > 0
+        keys = [entry["key"] for entry in payload["experiments"]]
+        assert keys == ["table1", "figure2"]
+        for entry in payload["experiments"]:
+            assert entry["seconds"] >= 0
+            assert entry["world"] in {"bundle", "population", "none"}
+
+    def test_result_for_lookup(self, store):
+        report = run_all(SMALL, workers=1, experiments=["taxonomy"], store=store)
+        assert report.result_for("taxonomy").experiment_id == "change_taxonomy"
+        with pytest.raises(KeyError):
+            report.result_for("figure3")
+
+
+class TestRunOne:
+    def test_run_one_matches_batch(self, store):
+        single = run_one("figure2", config=SMALL, store=store)
+        batch = run_all(SMALL, workers=1, experiments=["figure2"], store=store)
+        assert single.text == batch.results[0].text
+
+    def test_standalone_experiment_needs_no_world(self):
+        # A fresh store stays empty: table1 must not trigger a build.
+        store = WorldStore()
+        run_one("table1", config=SMALL, store=store)
+        assert store.stats["population_builds"] == 0
