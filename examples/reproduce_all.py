@@ -12,8 +12,11 @@ site or network state.  ``--workers N`` fans independent experiments
 out across a worker pool; results are bit-identical for any worker
 count.  Writes ``results/<experiment>.txt`` per experiment, a combined
 ``results/summary.txt`` with every headline metric (the raw material
-for EXPERIMENTS.md), and a machine-readable ``results/TIMINGS.json``
-with the per-experiment wall-clock trajectory.
+for EXPERIMENTS.md), a machine-readable ``results/TIMINGS.json`` with
+the span-derived wall-clock trajectory, and the run's telemetry:
+``results/METRICS.json`` (every counter/gauge/histogram, render with
+``repro stats``) plus ``results/TRACE.jsonl`` (the hierarchical span
+records for world build, snapshot crawls, and each experiment).
 """
 
 from __future__ import annotations
@@ -24,6 +27,7 @@ import json
 import pathlib
 import time
 
+from repro.obs.trace import set_tracing_enabled, shared_tracer, write_trace
 from repro.report.experiments import build_longitudinal_bundle
 from repro.report.orchestrator import run_all
 from repro.web import PopulationConfig
@@ -55,6 +59,9 @@ def main() -> None:
     ]
 
     print("building shared world (longitudinal bundle + audit population)...")
+    # Trace the world build too (run_all force-enables tracing only for
+    # its own duration, and the bundle is built here, before it).
+    set_tracing_enabled(True)
     store = shared_world_store()
     world_start = time.perf_counter()
     build_longitudinal_bundle(config, workers=args.workers, store=store)
@@ -66,7 +73,7 @@ def main() -> None:
     gc.collect()
     gc.freeze()
     report = run_all(config, workers=args.workers, store=store,
-                     collect_workers=args.workers)
+                     collect_workers=args.workers, telemetry_dir=RESULTS)
     print(f"world ready in {world_seconds:.1f}s "
           f"[mode={report.mode}, workers={report.workers}]")
 
@@ -82,11 +89,18 @@ def main() -> None:
 
     (RESULTS / "summary.txt").write_text("\n".join(summary_lines) + "\n")
     (RESULTS / "TIMINGS.json").write_text(
-        json.dumps(report.to_json(), indent=2) + "\n"
+        json.dumps(report.to_timings(), indent=2) + "\n"
     )
+    # run_all exported the spans it scoped; widen TRACE.jsonl to the
+    # whole process so the pre-run world build's snapshot-crawl spans
+    # are part of the artifact too.
+    full_trace = shared_tracer().records_since(0)
+    write_trace(RESULTS / "TRACE.jsonl", full_trace)
     print(f"\nwrote {RESULTS / 'summary.txt'}")
     print(f"wrote {RESULTS / 'TIMINGS.json'} "
           f"(total {report.total_seconds:.1f}s)")
+    print(f"wrote {RESULTS / 'METRICS.json'} (render with `repro stats`)")
+    print(f"wrote {RESULTS / 'TRACE.jsonl'} ({len(full_trace)} spans)")
 
 
 if __name__ == "__main__":

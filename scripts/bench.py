@@ -26,6 +26,11 @@ import sys
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
 RESULTS = REPO / "benchmarks" / "output" / "BENCH_RESULTS.json"
+OBS_OVERHEAD = REPO / "benchmarks" / "output" / "OBS_OVERHEAD.json"
+
+#: Telemetry's disabled fast path may imply at most this much slowdown
+#: on the Figure 2 pipeline (percent; see bench_obs_overhead.py).
+OBS_OVERHEAD_BUDGET_PCT = 1.0
 
 
 def _load_last_history() -> dict:
@@ -105,14 +110,38 @@ def main() -> int:
         print(f"  {nodeid:<{width}}  {now:8.3f}s  "
               f"(prev {prev:.3f}s, {delta:+.0%}){flag}")
 
+    overhead_ok = _check_obs_overhead()
+
     if regressions:
         print(f"\n{len(regressions)} bench(es) regressed more than "
               f"{args.threshold:.0%}:")
         for nodeid, prev, now, delta in regressions:
             print(f"  {nodeid}: {prev:.3f}s -> {now:.3f}s ({delta:+.0%})")
         return 1
+    if not overhead_ok:
+        return 1
     print("\nno perf regressions")
     return 0
+
+
+def _check_obs_overhead() -> bool:
+    """Gate the telemetry disabled-path budget from OBS_OVERHEAD.json."""
+    if not OBS_OVERHEAD.exists():
+        return True  # bench deselected this run; nothing to check
+    try:
+        payload = json.loads(OBS_OVERHEAD.read_text())
+    except (ValueError, OSError):
+        print(f"warning: unreadable {OBS_OVERHEAD}")
+        return True
+    implied = payload.get("implied_overhead_pct")
+    if implied is None:
+        return True
+    print(f"\n== telemetry overhead ==\n  implied disabled-path cost on "
+          f"figure2: {implied:.3f}% (budget {OBS_OVERHEAD_BUDGET_PCT:.1f}%)")
+    if implied > OBS_OVERHEAD_BUDGET_PCT:
+        print("  <-- OVER BUDGET")
+        return False
+    return True
 
 
 if __name__ == "__main__":

@@ -10,6 +10,7 @@ Installed as the ``repro`` console script::
     repro agents                                # the Table 1 registry
     repro experiment figure2 [--fast]           # run a paper experiment
     repro reproduce --workers 4 [--fast]        # run the whole battery
+    repro stats results/METRICS.json            # render a telemetry export
 """
 
 from __future__ import annotations
@@ -88,6 +89,19 @@ def build_parser() -> argparse.ArgumentParser:
     reproduce.add_argument("--only", nargs="*", metavar="ID",
                            choices=EXPERIMENT_IDS, default=None,
                            help="run only these experiments")
+    reproduce.add_argument("--telemetry-dir", metavar="DIR", default=None,
+                           help="also write METRICS.json and TRACE.jsonl "
+                                "into DIR")
+
+    stats = sub.add_parser(
+        "stats",
+        help="render a METRICS.json telemetry export as tables",
+    )
+    stats.add_argument("metrics_file", nargs="?", default="results/METRICS.json",
+                       help="path to a METRICS.json export "
+                            "(default: results/METRICS.json)")
+    stats.add_argument("--section", choices=["counters", "gauges", "histograms"],
+                       default=None, help="print only one section")
 
     serve = sub.add_parser("serve", help="serve a directory over localhost HTTP")
     serve.add_argument("directory")
@@ -207,6 +221,7 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         workers=args.workers,
         experiments=args.only,
         collect_workers=args.workers,
+        telemetry_dir=args.telemetry_dir,
     )
     for result in report.results:
         print(f"== {result.title} ==")
@@ -215,8 +230,49 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     print(f"ran {len(report.results)} experiment(s) "
           f"[mode={report.mode}, workers={report.workers}] "
           f"world {report.world_seconds:.1f}s, total {report.total_seconds:.1f}s")
-    for entry in report.to_json()["experiments"]:
+    for entry in report.to_timings()["experiments"]:
         print(f"  {entry['key']:12s} {entry['seconds']:.2f}s")
+    if args.telemetry_dir:
+        print(f"telemetry: {args.telemetry_dir}/METRICS.json, "
+              f"{args.telemetry_dir}/TRACE.jsonl "
+              f"({len(report.spans)} spans)")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import json
+
+    try:
+        with open(args.metrics_file, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except FileNotFoundError:
+        print(f"no metrics export at {args.metrics_file} "
+              f"(run `repro reproduce --telemetry-dir results` first)",
+              file=sys.stderr)
+        return 1
+
+    sections = [args.section] if args.section else ["counters", "gauges", "histograms"]
+    print(f"metrics export: {args.metrics_file} "
+          f"(schema v{payload.get('schema_version', '?')})")
+    if "counters" in sections:
+        rows = sorted(payload.get("counters", {}).items())
+        print(f"\ncounters ({len(rows)}):")
+        print(render_table(["counter", "total"], rows) if rows else "  (none)")
+    if "gauges" in sections:
+        rows = [(name, f"{value:g}")
+                for name, value in sorted(payload.get("gauges", {}).items())]
+        print(f"\ngauges ({len(rows)}):")
+        print(render_table(["gauge", "value"], rows) if rows else "  (none)")
+    if "histograms" in sections:
+        rows = []
+        for name, hist in sorted(payload.get("histograms", {}).items()):
+            count = hist.get("count", 0)
+            total = hist.get("sum", 0.0)
+            mean = total / count if count else 0.0
+            rows.append((name, count, f"{total:g}", f"{mean:.2f}"))
+        print(f"\nhistograms ({len(rows)}):")
+        print(render_table(["histogram", "count", "sum", "mean"], rows)
+              if rows else "  (none)")
     return 0
 
 
@@ -250,6 +306,7 @@ _HANDLERS = {
     "agents": _cmd_agents,
     "experiment": _cmd_experiment,
     "reproduce": _cmd_reproduce,
+    "stats": _cmd_stats,
     "serve": _cmd_serve,
 }
 

@@ -159,17 +159,35 @@ class CompiledPolicyCache:
     ``cache.policy(text)`` parses and compiles each distinct body once
     per cache; subsequent calls with byte-identical content return the
     same object.  Thread-safe.
+
+    ``max_policies`` bounds the number of distinct compiled bodies held
+    (None = unbounded, the default): when full, the oldest-inserted
+    policy is evicted, counted in :attr:`evictions`.  Hit/miss/eviction
+    tallies are kept as plain ints on the hot path -- they are
+    scheduling-dependent for shared caches, so :meth:`publish` exports
+    them to the metrics registry as **gauges** (process-local
+    observations), never as deterministic counters.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_policies: Optional[int] = None) -> None:
         self._lock = threading.Lock()
         self._by_digest: Dict[str, CompiledRobots] = {}
         self._by_source: Dict[Union[str, bytes], CompiledRobots] = {}
+        self.max_policies = max_policies
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._by_digest)
+
+    def _evict_oldest(self) -> None:
+        """Drop the oldest-inserted policy (lock held by caller)."""
+        digest, evicted = next(iter(self._by_digest.items()))
+        del self._by_digest[digest]
+        for source in [s for s, p in self._by_source.items() if p is evicted]:
+            del self._by_source[source]
+        self.evictions += 1
 
     def policy(self, source: Union[str, bytes]) -> CompiledRobots:
         """The compiled policy for *source*, compiling on first sight."""
@@ -191,11 +209,27 @@ class CompiledPolicyCache:
             self.misses += 1
         compiled = CompiledRobots(source)
         with self._lock:
+            if (
+                self.max_policies is not None
+                and key not in self._by_digest
+                and len(self._by_digest) >= self.max_policies
+            ):
+                self._evict_oldest()
             # setdefault: a racing thread may have compiled the same
             # body; both results are equivalent, keep the first.
             compiled = self._by_digest.setdefault(key, compiled)
             self._by_source[source] = compiled
             return compiled
+
+    def publish(self, registry=None, prefix: str = "policy_cache") -> None:
+        """Export occupancy and hit/miss/eviction tallies as gauges."""
+        from ..obs.metrics import shared_registry
+
+        registry = registry if registry is not None else shared_registry()
+        registry.set_gauge(f"{prefix}.hits", self.hits)
+        registry.set_gauge(f"{prefix}.misses", self.misses)
+        registry.set_gauge(f"{prefix}.evictions", self.evictions)
+        registry.set_gauge(f"{prefix}.entries", len(self._by_digest))
 
     def clear(self) -> None:
         """Drop every cached policy and reset the hit/miss counters."""
@@ -204,6 +238,7 @@ class CompiledPolicyCache:
             self._by_source.clear()
             self.hits = 0
             self.misses = 0
+            self.evictions = 0
 
 
 _SHARED_CACHE = CompiledPolicyCache()

@@ -21,12 +21,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..agents.darkvisitors import AI_USER_AGENT_TOKENS
 from ..core.compiled import CompiledRobots, shared_policy_cache
 from ..core.policy import RobotsPolicy
 from ..net.errors import NetError
 from ..net.http import Headers, Request, Response
 from ..net.server import extract_links
 from ..net.transport import Network
+from ..obs.metrics import shared_registry
 from .profiles import CrawlerProfile, RobotsBehavior
 
 __all__ = ["CrawlResult", "Crawler"]
@@ -34,6 +36,11 @@ __all__ = ["CrawlResult", "Crawler"]
 #: The synthetic policy for unreachable robots.txt (RFC 9309 2.3.1),
 #: compiled once for the whole fleet.
 _DISALLOW_ALL = CompiledRobots("User-agent: *\nDisallow: /")
+
+#: Tokens that get their own metric label.  Anything else (e.g. the
+#: thousands of synthetic GPT-store app bots) is bucketed under
+#: ``other`` so label cardinality stays bounded by the Table 1 roster.
+_KNOWN_AGENT_LABELS = frozenset(AI_USER_AGENT_TOKENS)
 
 
 @dataclass
@@ -87,6 +94,23 @@ class Crawler:
         self.network = network
         self._robots_cache: Dict[str, _CacheEntry] = {}
         self._crawl_count: Dict[str, int] = {}
+        # Counter handles are resolved once per crawler; each increment
+        # on the crawl hot path is then a bool check plus a locked add.
+        agent = profile.token if profile.token in _KNOWN_AGENT_LABELS else "other"
+        registry = shared_registry()
+        self._fetches_counter = registry.counter("crawler.fetches", agent=agent)
+        self._robots_fetch_counter = registry.counter(
+            "crawler.robots_fetches", agent=agent
+        )
+        self._robots_cached_counter = registry.counter(
+            "crawler.robots_cache_hits", agent=agent
+        )
+        self._allow_counter = registry.counter(
+            "crawler.robots_decisions", agent=agent, decision="allow"
+        )
+        self._deny_counter = registry.counter(
+            "crawler.robots_decisions", agent=agent, decision="deny"
+        )
 
     # -- plumbing -------------------------------------------------------------
 
@@ -138,6 +162,7 @@ class Crawler:
                 cached = self._robots_cache.get(host)
                 if cached is not None:
                     result.robots_from_cache = True
+                    self._robots_cached_counter.inc()
                     return cached.policy
                 return None
 
@@ -146,6 +171,7 @@ class Crawler:
             age = self.now - cached.fetched_at
             if age < self.profile.robots_cache_ttl:
                 result.robots_from_cache = True
+                self._robots_cached_counter.inc()
                 return cached.policy
 
         conditional: Optional[Dict[str, str]] = None
@@ -161,11 +187,13 @@ class Crawler:
             result.errors.append(str(exc))
             return None
         result.robots_fetched = True
+        self._robots_fetch_counter.inc()
         result.fetched.append(("/robots.txt", response.status))
         if response.status == 304 and cached is not None:
             # Not modified: keep the cached policy, refresh its age.
             cached.fetched_at = self.now
             result.robots_from_cache = True
+            self._robots_cached_counter.inc()
             return cached.policy
         # RFC 9309 section 2.3.1: a 4xx means "no policy, crawl freely";
         # a 5xx means robots.txt is *unreachable* and the crawler MUST
@@ -203,7 +231,11 @@ class Crawler:
             return True
         if policy is None:
             return True
-        return policy.is_allowed(self.profile.token, path)
+        allowed = policy.is_allowed(self.profile.token, path)
+        # Only genuine robots consultations count as decisions; bots
+        # with no policy (or none they obey) never "decided" anything.
+        (self._allow_counter if allowed else self._deny_counter).inc()
+        return allowed
 
     # -- public API ---------------------------------------------------------------
 
@@ -220,6 +252,7 @@ class Crawler:
             result.skipped.append(path)
             return result
         try:
+            self._fetches_counter.inc()
             response = self._request(host, path)
             result.fetched.append((path, response.status))
         except NetError as exc:
@@ -278,6 +311,7 @@ class Crawler:
             ):
                 break
             try:
+                self._fetches_counter.inc()
                 response = self._request(host, path)
             except NetError as exc:
                 result.errors.append(str(exc))

@@ -27,6 +27,7 @@ from typing import Dict, List, Optional
 
 from ..agents.darkvisitors import build_registry
 from ..net.transport import Network
+from ..obs.metrics import shared_registry
 from .engine import Crawler
 from .profiles import CrawlerProfile, RobotsBehavior
 
@@ -107,6 +108,9 @@ def build_fleet(network: Network) -> Dict[str, FleetMember]:
             visits_unprompted=agent.token in PASSIVE_VISITORS,
             passive_quirk=quirk,
         )
+    metrics = shared_registry()
+    metrics.inc("fleet.builds")
+    metrics.set_gauge("fleet.size", len(fleet))
     return fleet
 
 

@@ -46,6 +46,31 @@ class PolicyCache:
         ] = {}
         self._full_any: Dict[Tuple[CompiledRobots, Tuple[str, ...], bool], bool] = {}
         self._explicit_allow: Dict[Tuple[CompiledRobots, str], bool] = {}
+        # Plain ints on the hot path; exported as gauges via publish()
+        # (memo probe tallies are process-local observations).
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Memo-probe tallies plus current memo occupancy."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": (
+                len(self._classifications)
+                + len(self._full_any)
+                + len(self._explicit_allow)
+            ),
+        }
+
+    def publish(self, registry=None, prefix: str = "measure.policy_cache") -> None:
+        """Export the memo tallies to a metrics registry as gauges."""
+        from ..obs.metrics import shared_registry
+
+        registry = registry if registry is not None else shared_registry()
+        for name, value in self.stats.items():
+            registry.set_gauge(f"{prefix}.{name}", value)
 
     def policy(self, text: Union[str, bytes]) -> CompiledRobots:
         """The shared compiled policy for *text* (parsed at most once)."""
@@ -64,8 +89,11 @@ class PolicyCache:
         key = (policy, user_agent, require_explicit)
         cached = self._classifications.get(key)
         if cached is None:
+            self.misses += 1
             cached = classify(policy, user_agent, require_explicit=require_explicit)
             self._classifications[key] = cached
+        else:
+            self.hits += 1
         return cached
 
     def fully_disallows_any(
@@ -80,13 +108,16 @@ class PolicyCache:
         policy = self.policy(text)
         key = (policy, tuple(user_agents), require_explicit)
         cached = self._full_any.get(key)
-        if cached is None:
-            cached = any(
-                self.classification(text, agent, require_explicit).level
-                is RestrictionLevel.FULL
-                for agent in user_agents
-            )
-            self._full_any[key] = cached
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        cached = any(
+            self.classification(text, agent, require_explicit).level
+            is RestrictionLevel.FULL
+            for agent in user_agents
+        )
+        self._full_any[key] = cached
         return cached
 
     def explicitly_allows(
@@ -99,6 +130,9 @@ class PolicyCache:
         key = (policy, user_agent)
         cached = self._explicit_allow.get(key)
         if cached is None:
+            self.misses += 1
             cached = explicitly_allows(policy, user_agent)
             self._explicit_allow[key] = cached
+        else:
+            self.hits += 1
         return cached

@@ -33,6 +33,8 @@ from ..net.server import Website, render_page
 from ..net.transport import Network
 
 __all__ = [
+    "WILDCARD_HOST",
+    "PER_AGENT_HOST",
     "Testbed",
     "build_testbed",
     "run_passive_measurement",

@@ -38,6 +38,7 @@ from ..crawlers.commoncrawl import (
     SnapshotSpec,
 )
 from ..net.transport import Network
+from ..obs.trace import adopt_current_span, current_span, span
 from ..web.population import WebPopulation
 from .cache import PolicyCache
 
@@ -142,18 +143,37 @@ def collect_snapshots(
     specs = list(specs)
 
     def collect_one(spec: SnapshotSpec) -> Snapshot:
-        network = Network()
-        population.materialize(network, month=spec.month_index)
-        crawler = SnapshotCrawler(network)
-        return crawler.snapshot(spec, domains)
+        # The span carries both clocks: wall time plus the simulated
+        # month the snapshot pertains to (the logical clock).
+        with span(
+            "collect_snapshot",
+            logical=spec.month_index,
+            snapshot=spec.snapshot_id,
+            n_domains=len(domains),
+        ):
+            network = Network()
+            population.materialize(network, month=spec.month_index)
+            crawler = SnapshotCrawler(network)
+            snapshot = crawler.snapshot(spec, domains)
+            network.publish_request_histogram()
+            return snapshot
 
-    if workers is None or workers <= 1 or len(specs) <= 1:
-        snapshots = [collect_one(spec) for spec in specs]
-    else:
-        with ThreadPoolExecutor(max_workers=min(workers, len(specs))) as pool:
-            # executor.map preserves spec order regardless of completion
-            # order, so parallelism cannot reorder the series.
-            snapshots = list(pool.map(collect_one, specs))
+    with span("collect_snapshots", n_specs=len(specs), workers=workers or 1):
+        if workers is None or workers <= 1 or len(specs) <= 1:
+            snapshots = [collect_one(spec) for spec in specs]
+        else:
+            with ThreadPoolExecutor(
+                max_workers=min(workers, len(specs)),
+                # Worker threads start with an empty span context;
+                # adopt the collection span so per-snapshot spans stay
+                # its children rather than becoming roots.
+                initializer=adopt_current_span,
+                initargs=(current_span(),),
+            ) as pool:
+                # executor.map preserves spec order regardless of
+                # completion order, so parallelism cannot reorder the
+                # series.
+                snapshots = list(pool.map(collect_one, specs))
 
     # Intern robots bodies across the whole series: fifteen snapshots of
     # a mostly-unchanged population collapse to one string per distinct
@@ -201,37 +221,42 @@ def full_disallow_trend(
     n_other = len(series.analysis_domains) - n_top
     cache = series.cache
     rows: List[Tuple[str, float, float]] = []
-    for snapshot in series.snapshots:
-        # Group domains by unique body within each tier, then classify
-        # each distinct body once.
-        tier_counts: Tuple[Dict[Optional[str], int], Dict[Optional[str], int]] = (
-            {},
-            {},
-        )
-        for body, is_top in zip(series.analysis_bodies(snapshot), in_top):
-            counts = tier_counts[0] if is_top else tier_counts[1]
-            counts[body] = counts.get(body, 0) + 1
+    with span(
+        "measure.full_disallow_trend",
+        n_sites=len(series.analysis_domains),
+        n_agents=len(agents),
+    ):
+        for snapshot in series.snapshots:
+            # Group domains by unique body within each tier, then
+            # classify each distinct body once.
+            tier_counts: Tuple[Dict[Optional[str], int], Dict[Optional[str], int]] = (
+                {},
+                {},
+            )
+            for body, is_top in zip(series.analysis_bodies(snapshot), in_top):
+                counts = tier_counts[0] if is_top else tier_counts[1]
+                counts[body] = counts.get(body, 0) + 1
 
-        def rate(counts: Dict[Optional[str], int], total: int) -> float:
-            if not total:
-                return 0.0
-            hits = sum(
-                count
-                for body, count in counts.items()
-                if body is not None
-                and cache.fully_disallows_any(
-                    body, agents, require_explicit=require_explicit
+            def rate(counts: Dict[Optional[str], int], total: int) -> float:
+                if not total:
+                    return 0.0
+                hits = sum(
+                    count
+                    for body, count in counts.items()
+                    if body is not None
+                    and cache.fully_disallows_any(
+                        body, agents, require_explicit=require_explicit
+                    )
+                )
+                return 100.0 * hits / total
+
+            rows.append(
+                (
+                    snapshot.spec.snapshot_id,
+                    rate(tier_counts[0], n_top),
+                    rate(tier_counts[1], n_other),
                 )
             )
-            return 100.0 * hits / total
-
-        rows.append(
-            (
-                snapshot.spec.snapshot_id,
-                rate(tier_counts[0], n_top),
-                rate(tier_counts[1], n_other),
-            )
-        )
     return rows
 
 

@@ -12,7 +12,9 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional
+
+from ..obs.metrics import MetricsRegistry, shared_registry
 
 __all__ = ["LogEntry", "AccessLog", "format_clf", "parse_clf_line"]
 
@@ -31,6 +33,11 @@ class LogEntry:
         body_bytes: Response body size.
         user_agent: The request's User-Agent header.
         host: The virtual host that served the request.
+        seq: Monotonic per-log sequence number, stamped by
+            :meth:`AccessLog.append` (-1 while unattached).  Simulation
+            timestamps tie constantly (many fetches share one logical
+            month), so parallel analysis passes sort on ``(timestamp,
+            seq)`` for a deterministic order.
     """
 
     timestamp: float
@@ -41,6 +48,7 @@ class LogEntry:
     body_bytes: int
     user_agent: str
     host: str = ""
+    seq: int = -1
 
     @property
     def is_robots_fetch(self) -> bool:
@@ -53,9 +61,20 @@ class AccessLog:
 
     def __init__(self) -> None:
         self._entries: List[LogEntry] = []
+        self._next_seq = 0
 
     def append(self, entry: LogEntry) -> None:
-        """Record one request."""
+        """Record one request, stamping its sequence number.
+
+        Entries arriving with the default ``seq=-1`` get the log's next
+        monotonic sequence number; pre-stamped entries (e.g. replayed
+        from another log) keep theirs.
+        """
+        if entry.seq < 0:
+            # The one sanctioned mutation of the frozen record: stamping
+            # arrival order at the single append point.
+            object.__setattr__(entry, "seq", self._next_seq)
+        self._next_seq += 1
         self._entries.append(entry)
 
     def __len__(self) -> int:
@@ -65,8 +84,9 @@ class AccessLog:
         return iter(self._entries)
 
     def clear(self) -> None:
-        """Drop all entries."""
+        """Drop all entries (sequence numbering restarts at zero)."""
         self._entries.clear()
+        self._next_seq = 0
 
     def entries(
         self,
@@ -125,6 +145,46 @@ class AccessLog:
             if entry.client_ip not in seen:
                 seen.append(entry.client_ip)
         return seen
+
+    def summary(self) -> Dict[str, Dict[str, int]]:
+        """Per-user-agent request and robots-fetch counts.
+
+        Returns ``{user_agent: {"requests": n, "robots_fetches": n}}``
+        in first-seen order -- the per-agent provenance the compliance
+        analysis derives its verdicts from.
+        """
+        out: Dict[str, Dict[str, int]] = {}
+        for entry in self._entries:
+            counts = out.get(entry.user_agent)
+            if counts is None:
+                counts = {"requests": 0, "robots_fetches": 0}
+                out[entry.user_agent] = counts
+            counts["requests"] += 1
+            if entry.is_robots_fetch:
+                counts["robots_fetches"] += 1
+        return out
+
+    def publish(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        site: str = "",
+    ) -> None:
+        """Feed :meth:`summary` into a metrics registry as counters.
+
+        Counters: ``accesslog.requests{agent=...}`` and
+        ``accesslog.robots_fetches{agent=...}`` (plus ``site=`` when
+        given).  Call once per measurement window; repeated calls add.
+        """
+        registry = registry if registry is not None else shared_registry()
+        for user_agent, counts in self.summary().items():
+            labels = {"agent": user_agent}
+            if site:
+                labels["site"] = site
+            registry.inc("accesslog.requests", counts["requests"], **labels)
+            if counts["robots_fetches"]:
+                registry.inc(
+                    "accesslog.robots_fetches", counts["robots_fetches"], **labels
+                )
 
 
 def format_clf(entry: LogEntry) -> str:

@@ -18,12 +18,25 @@ import re
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
+from ..obs.metrics import metrics_enabled, shared_registry
 from .accesslog import AccessLog, LogEntry
 from .http import Headers, Request, Response
 
 __all__ = ["Page", "Website", "extract_links", "render_page"]
 
 _HREF_RE = re.compile(r'href="([^"]+)"')
+
+#: Lazily-bound counter handles shared by every Website in the process
+#: (robots.txt is the one server path hot enough to meter per request).
+_ROBOTS_COUNTERS: dict = {}
+
+
+def _count_robots_serve(status: int) -> None:
+    counter = _ROBOTS_COUNTERS.get(status)
+    if counter is None:
+        counter = shared_registry().counter("server.robots_serves", status=status)
+        _ROBOTS_COUNTERS[status] = counter
+    counter.inc()
 
 
 def render_page(
@@ -159,6 +172,8 @@ class Website:
     def handle(self, request: Request) -> Response:
         """Serve one request and log it."""
         response = self._respond(request)
+        if metrics_enabled() and request.path_only == "/robots.txt":
+            _count_robots_serve(response.status)
         self.access_log.append(
             LogEntry(
                 timestamp=self.now,

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, Iterator, Optional, Protocol
 
+from ..obs.metrics import MetricsRegistry, metrics_enabled, shared_registry
 from .errors import ConnectionRefused, ConnectionReset, DNSFailure
 from .http import Request, Response
 
@@ -39,10 +40,18 @@ class Network:
     200
     """
 
-    def __init__(self) -> None:
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
         self._handlers: Dict[str, Handler] = {}
         self._failures: Dict[str, Callable[[Request], Exception]] = {}
         self.now: float = 0.0
+        self._registry = registry if registry is not None else shared_registry()
+        # Counter handles cached per status / error kind so the
+        # per-request cost is one dict probe plus one locked add.
+        self._status_counters: Dict[int, object] = {}
+        self._error_counters: Dict[str, object] = {}
+        # Per-host request tallies, kept as a plain dict (cheap) and
+        # published as a requests-per-site histogram on demand.
+        self._per_host_requests: Dict[str, int] = {}
 
     # -- topology -----------------------------------------------------------
 
@@ -120,6 +129,37 @@ class Network:
         """Remove any injected failure for *host*."""
         self._failures.pop(host.lower(), None)
 
+    # -- telemetry ----------------------------------------------------------
+
+    def _count_response(self, status: int) -> None:
+        counter = self._status_counters.get(status)
+        if counter is None:
+            counter = self._registry.counter("net.responses", status=status)
+            self._status_counters[status] = counter
+        counter.inc()
+
+    def _count_error(self, kind: str) -> None:
+        counter = self._error_counters.get(kind)
+        if counter is None:
+            counter = self._registry.counter("net.errors", kind=kind)
+            self._error_counters[kind] = counter
+        counter.inc()
+
+    def publish_request_histogram(
+        self, name: str = "net.requests_per_site"
+    ) -> None:
+        """Observe each host's request count into a registry histogram.
+
+        Call once per network lifetime (e.g. after a snapshot crawl):
+        the distribution of per-site request volume is the provenance a
+        crawl report needs to show no site was over- or under-visited.
+        """
+        if not metrics_enabled() or not self._per_host_requests:
+            return
+        histogram = self._registry.histogram(name)
+        for count in self._per_host_requests.values():
+            histogram.observe(count)
+
     # -- request dispatch ---------------------------------------------------
 
     def request(self, request: Request) -> Response:
@@ -130,13 +170,24 @@ class Network:
             NetError: An injected failure fired.
         """
         key = request.host.lower()
+        metered = metrics_enabled()
+        if metered:
+            self._per_host_requests[key] = self._per_host_requests.get(key, 0) + 1
         failure = self._failures.get(key)
         if failure is not None:
-            raise failure(request)
+            exc = failure(request)
+            if metered:
+                self._count_error(type(exc).__name__)
+            raise exc
         handler = self._handlers.get(key)
         if handler is None:
+            if metered:
+                self._count_error("DNSFailure")
             raise DNSFailure(request.host)
         # Propagate the simulation clock to handlers that keep logs.
         if hasattr(handler, "now"):
             handler.now = self.now
-        return handler.handle(request)
+        response = handler.handle(request)
+        if metered:
+            self._count_response(response.status)
+        return response

@@ -28,11 +28,26 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from ..core.compiled import shared_policy_cache
+from ..obs.metrics import (
+    MetricsRegistry,
+    export_metrics,
+    shared_registry,
+    snapshot_delta,
+)
+from ..obs.trace import (
+    adopt_current_span,
+    set_tracing_enabled,
+    shared_tracer,
+    span,
+    tracing_enabled,
+    write_trace,
+)
 from ..web.population import PopulationConfig
 from ..web.worldstore import WorldStore, shared_world_store
 from . import experiments as exp
@@ -134,12 +149,18 @@ class RunReport:
         results: One :class:`ExperimentResult` per requested experiment,
             in registry order (scheduling never reorders them).
         timings_seconds: Per-experiment measurement wall clock, keyed by
-            registry key.
+            registry key.  Derived from each experiment's span (the
+            spans *are* the timing source, not a parallel stopwatch).
         world_seconds: Wall clock spent building (or hitting the cache
-            for) the shared worlds before any runner started.
+            for) the shared worlds before any runner started -- the
+            ``world_build`` span's duration.
+        total_seconds: The ``run_all`` root span's duration.
         workers: Worker count the battery ran with.
         mode: Execution mode actually used ("serial", "thread",
             "process").
+        spans: Every span record produced by this run (world build,
+            per-experiment, nested pipeline spans), in completion order.
+            Exported as ``results/TRACE.jsonl``.
     """
 
     results: List[ExperimentResult] = field(default_factory=list)
@@ -148,6 +169,7 @@ class RunReport:
     total_seconds: float = 0.0
     workers: int = 1
     mode: str = "serial"
+    spans: List[Dict[str, object]] = field(default_factory=list)
 
     def result_for(self, key: str) -> ExperimentResult:
         """The result for registry *key* (KeyError if not run)."""
@@ -157,8 +179,13 @@ class RunReport:
                 return result
         raise KeyError(key)
 
-    def to_json(self) -> Dict[str, object]:
-        """Machine-readable timing payload (for results/TIMINGS.json)."""
+    def to_timings(self) -> Dict[str, object]:
+        """Machine-readable timing payload (for results/TIMINGS.json).
+
+        Every number here is derived from the run's span tree:
+        per-experiment seconds from the ``experiment:<key>`` spans,
+        world/total from the ``world_build`` / ``run_all`` spans.
+        """
         return {
             "schema_version": 1,
             "mode": self.mode,
@@ -178,40 +205,90 @@ class RunReport:
             ],
         }
 
+    def to_json(self) -> Dict[str, object]:
+        """Alias of :meth:`to_timings` (the historical payload name)."""
+        return self.to_timings()
+
+    def export_telemetry(
+        self,
+        directory: Union[str, Path],
+        registry: Optional[MetricsRegistry] = None,
+    ) -> Dict[str, Path]:
+        """Write this run's telemetry artifacts into *directory*.
+
+        Produces ``METRICS.json`` (the registry rendered via
+        :meth:`~repro.obs.metrics.MetricsRegistry.to_json`) and
+        ``TRACE.jsonl`` (this run's span records).  Returns the paths
+        keyed by artifact name.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        metrics_path = directory / "METRICS.json"
+        trace_path = directory / "TRACE.jsonl"
+        export_metrics(metrics_path, registry)
+        write_trace(trace_path, self.spans)
+        return {"METRICS.json": metrics_path, "TRACE.jsonl": trace_path}
+
 
 # -- execution -----------------------------------------------------------------
 
 
 @dataclass
 class _RunContext:
-    """Everything a worker needs; inherited by forked children."""
+    """Everything a worker needs; inherited by forked children.
+
+    ``ship`` is True only in process mode: forked children must ship
+    their telemetry (a metrics snapshot delta plus the span records
+    they buffered) back to the parent, because their registry/tracer
+    are copies.  Thread and serial workers write straight into the
+    parent's shared instances, so shipping there would double-count.
+    """
 
     config: Optional[PopulationConfig]
     store: WorldStore
     bundle: Optional[LongitudinalBundle]
+    ship: bool = False
 
 
 #: Set by :func:`run_all` before any pool spawns so fork-based workers
 #: inherit the built world instead of pickling it.
 _WORKER_CONTEXT: Optional[_RunContext] = None
 
+#: One outcome from :func:`_execute_experiment`: key, span-derived
+#: seconds, result, shipped metrics delta (process mode only), shipped
+#: span records (process mode only).
+_Outcome = Tuple[
+    str, float, ExperimentResult, Optional[Dict[str, object]], List[Dict[str, object]]
+]
 
-def _execute_experiment(key: str) -> Tuple[str, float, ExperimentResult]:
+
+def _execute_experiment(key: str) -> _Outcome:
     """Run one experiment against the ambient context (worker entry)."""
     context = _WORKER_CONTEXT
     assert context is not None, "run_all must establish the context first"
     spec = _BY_KEY[key]
-    start = time.perf_counter()
-    if spec.world == WORLD_BUNDLE:
-        result = spec.run(context.bundle)
-    elif spec.world == WORLD_POPULATION:
-        # Every population runner gets its own copy-on-write view: its
-        # mutations (handler registration, attribute edits) live and die
-        # with the view, never in a sibling's world.
-        result = spec.run(context.store.population_view(context.config))
-    else:
-        result = spec.run()
-    return key, time.perf_counter() - start, result
+    registry = shared_registry()
+    tracer = shared_tracer()
+    before = registry.snapshot() if context.ship else None
+    mark = tracer.record_count() if context.ship else 0
+    # Distinct span names per experiment keep root ids deterministic
+    # even when parallel workers race on the occurrence counters.
+    exp_span = span(f"experiment:{key}", key=key, world=spec.world)
+    with exp_span:
+        if spec.world == WORLD_BUNDLE:
+            result = spec.run(context.bundle)
+        elif spec.world == WORLD_POPULATION:
+            # Every population runner gets its own copy-on-write view:
+            # its mutations (handler registration, attribute edits) live
+            # and die with the view, never in a sibling's world.
+            result = spec.run(context.store.population_view(context.config))
+        else:
+            result = spec.run()
+    seconds = getattr(exp_span, "duration_seconds", 0.0)
+    if not context.ship:
+        return key, seconds, result, None, []
+    delta = snapshot_delta(registry.snapshot(), before)
+    return key, seconds, result, delta, tracer.records_since(mark)
 
 
 def _resolve_mode(mode: str, workers: int) -> str:
@@ -233,8 +310,17 @@ def run_all(
     store: Optional[WorldStore] = None,
     mode: str = "auto",
     collect_workers: Optional[int] = None,
+    telemetry_dir: Optional[Union[str, Path]] = None,
 ) -> RunReport:
     """Run the experiment battery over one shared world.
+
+    Tracing is force-enabled for the duration of the run (and restored
+    afterwards): the orchestrator's timings *are* its span tree, so
+    ``run_all`` always produces one.  Every worker's counter increments
+    land in the process-wide registry -- directly in serial/thread
+    mode, via shipped snapshot deltas in process mode -- so counter
+    totals are identical for any ``workers``/``mode`` combination
+    (enforced by ``tests/report/test_orchestrator.py``).
 
     Args:
         config: Population config (None = the paper's default scale).
@@ -249,10 +335,13 @@ def run_all(
         collect_workers: Parallelism for the snapshot crawl when the
             bundle has to be built (forwarded to
             :func:`~repro.measure.longitudinal.collect_snapshots`).
+        telemetry_dir: When given, write ``METRICS.json`` and
+            ``TRACE.jsonl`` into this directory after the run (see
+            :meth:`RunReport.export_telemetry`).
 
     Returns:
-        A :class:`RunReport` with results in registry order plus the
-        per-experiment timing trajectory.
+        A :class:`RunReport` with results in registry order, the
+        span-derived timing trajectory, and the run's span records.
     """
     global _WORKER_CONTEXT
     store = store or shared_world_store()
@@ -263,43 +352,96 @@ def run_all(
     specs = [_BY_KEY[k] for k in keys]
     ordered = [spec.key for spec in EXPERIMENT_REGISTRY if spec.key in set(keys)]
 
-    total_start = time.perf_counter()
-    world_start = time.perf_counter()
-    bundle: Optional[LongitudinalBundle] = None
-    if any(spec.world == WORLD_BUNDLE for spec in specs):
-        bundle = exp.build_longitudinal_bundle(
-            config, workers=collect_workers, store=store
-        )
-    elif any(spec.world == WORLD_POPULATION for spec in specs):
-        store.population(config)  # warm the substrate once, up front
-    world_seconds = time.perf_counter() - world_start
-
     n_workers = max(1, workers or 1)
     resolved = _resolve_mode(mode, min(n_workers, len(ordered)))
-    _WORKER_CONTEXT = _RunContext(config=config, store=store, bundle=bundle)
-    try:
-        if resolved == "serial":
-            outcomes = [_execute_experiment(key) for key in ordered]
-        elif resolved == "process":
-            context = multiprocessing.get_context("fork")
-            with ProcessPoolExecutor(
-                max_workers=n_workers, mp_context=context
-            ) as pool:
-                outcomes = list(pool.map(_execute_experiment, ordered))
-        else:
-            with ThreadPoolExecutor(max_workers=n_workers) as pool:
-                # map preserves submission order regardless of
-                # completion order, so parallelism cannot reorder or
-                # interleave the assembled report.
-                outcomes = list(pool.map(_execute_experiment, ordered))
-    finally:
-        _WORKER_CONTEXT = None
 
-    report = RunReport(workers=n_workers, mode=resolved, world_seconds=world_seconds)
-    for key, seconds, result in outcomes:
+    registry = shared_registry()
+    tracer = shared_tracer()
+    was_tracing = tracing_enabled()
+    set_tracing_enabled(True)
+    run_mark = tracer.record_count()
+    bundle: Optional[LongitudinalBundle] = None
+    try:
+        total_span = span(
+            "run_all", mode=resolved, workers=n_workers, n_experiments=len(ordered)
+        )
+        with total_span:
+            needs_bundle = any(spec.world == WORLD_BUNDLE for spec in specs)
+            needs_population = any(spec.world == WORLD_POPULATION for spec in specs)
+            world_kind = (
+                WORLD_BUNDLE
+                if needs_bundle
+                else (WORLD_POPULATION if needs_population else WORLD_NONE)
+            )
+            world_span = span("world_build", world=world_kind)
+            with world_span:
+                if needs_bundle:
+                    bundle = exp.build_longitudinal_bundle(
+                        config, workers=collect_workers, store=store
+                    )
+                elif needs_population:
+                    store.population(config)  # warm the substrate up front
+
+            _WORKER_CONTEXT = _RunContext(
+                config=config,
+                store=store,
+                bundle=bundle,
+                ship=(resolved == "process"),
+            )
+            try:
+                if resolved == "serial":
+                    outcomes = [_execute_experiment(key) for key in ordered]
+                elif resolved == "process":
+                    context = multiprocessing.get_context("fork")
+                    with ProcessPoolExecutor(
+                        max_workers=n_workers, mp_context=context
+                    ) as pool:
+                        outcomes = list(pool.map(_execute_experiment, ordered))
+                else:
+                    live_root = total_span if hasattr(total_span, "span_id") else None
+                    with ThreadPoolExecutor(
+                        max_workers=n_workers,
+                        # Worker threads start with an empty span
+                        # context; adopt the run root so the trace tree
+                        # matches serial/fork execution.
+                        initializer=adopt_current_span,
+                        initargs=(live_root,),
+                    ) as pool:
+                        # map preserves submission order regardless of
+                        # completion order, so parallelism cannot reorder
+                        # or interleave the assembled report.
+                        outcomes = list(pool.map(_execute_experiment, ordered))
+            finally:
+                _WORKER_CONTEXT = None
+
+            # Fold process-mode workers' shipped telemetry into the
+            # parent; serial/thread workers already wrote in place.
+            for _, _, _, delta, shipped_spans in outcomes:
+                if delta is not None:
+                    registry.merge(delta)
+                if shipped_spans:
+                    tracer.absorb(shipped_spans)
+    finally:
+        set_tracing_enabled(was_tracing)
+
+    report = RunReport(
+        workers=n_workers,
+        mode=resolved,
+        world_seconds=getattr(world_span, "duration_seconds", 0.0),
+    )
+    for key, seconds, result, _, _ in outcomes:
         report.timings_seconds[key] = seconds
         report.results.append(result)
-    report.total_seconds = time.perf_counter() - total_start
+    report.total_seconds = getattr(total_span, "duration_seconds", 0.0)
+    report.spans = tracer.records_since(run_mark)
+
+    if telemetry_dir is not None:
+        # Shared-cache tallies are point-in-time, scheduling-dependent
+        # observations: publish them as gauges right before export.
+        shared_policy_cache().publish()
+        if bundle is not None:
+            bundle.series.cache.publish()
+        report.export_telemetry(telemetry_dir, registry)
     return report
 
 

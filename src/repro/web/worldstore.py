@@ -32,10 +32,12 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import itertools
 import json
 import threading
 from typing import Dict, List, Optional, TYPE_CHECKING
 
+from ..obs.metrics import MetricsRegistry, shared_registry
 from .population import PopulationConfig, WebPopulation, build_web_population
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -128,15 +130,43 @@ class WorldStore:
     True
     """
 
-    def __init__(self) -> None:
+    #: Deterministic per-process store ids for metric labels: the
+    #: module-level shared store is always ``s0``.
+    _ids = itertools.count()
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
         self._lock = threading.RLock()
         self._populations: Dict[str, WebPopulation] = {}
         self._series: Dict[str, "SnapshotSeries"] = {}
-        self.stats: Dict[str, int] = {
-            "population_builds": 0,
-            "population_hits": 0,
-            "series_builds": 0,
-            "series_hits": 0,
+        self._registry = registry if registry is not None else shared_registry()
+        store_id = f"s{next(WorldStore._ids)}"
+        # Hits AND misses are counted symmetrically (a miss is a build).
+        self._population_hits = self._registry.counter(
+            "worldstore.population", store=store_id, event="hit"
+        )
+        self._population_misses = self._registry.counter(
+            "worldstore.population", store=store_id, event="miss"
+        )
+        self._series_hits = self._registry.counter(
+            "worldstore.series", store=store_id, event="hit"
+        )
+        self._series_misses = self._registry.counter(
+            "worldstore.series", store=store_id, event="miss"
+        )
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Deprecated: the pre-``repro.obs`` ad-hoc stats dict.
+
+        Kept for compatibility; the counters now live on the metrics
+        registry (``worldstore.population`` / ``worldstore.series``
+        with ``event=hit|miss`` labels).  A "build" is a cache miss.
+        """
+        return {
+            "population_builds": self._population_misses.value,
+            "population_hits": self._population_hits.value,
+            "series_builds": self._series_misses.value,
+            "series_hits": self._series_hits.value,
         }
 
     # -- worlds ---------------------------------------------------------------
@@ -151,13 +181,13 @@ class WorldStore:
         with self._lock:
             population = self._populations.get(key)
             if population is None:
-                self.stats["population_builds"] += 1
+                self._population_misses.inc()
                 population = freeze_population(
                     build_web_population(config or PopulationConfig())
                 )
                 self._populations[key] = population
             else:
-                self.stats["population_hits"] += 1
+                self._population_hits.inc()
             return population
 
     def population_view(
@@ -184,11 +214,11 @@ class WorldStore:
         with self._lock:
             series = self._series.get(key)
             if series is None:
-                self.stats["series_builds"] += 1
+                self._series_misses.inc()
                 series = collect_snapshots(self.population(config), workers=workers)
                 self._series[key] = series
             else:
-                self.stats["series_hits"] += 1
+                self._series_hits.inc()
             return series
 
     # -- maintenance ----------------------------------------------------------

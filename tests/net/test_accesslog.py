@@ -66,6 +66,47 @@ class TestAccessLog:
         log.clear()
         assert len(log) == 0
 
+    def test_append_stamps_monotonic_sequence_numbers(self):
+        log = self._log()
+        assert [e.seq for e in log] == [0, 1, 2]
+
+    def test_prestamped_entries_keep_their_seq(self):
+        log = AccessLog()
+        first = entry("/a")
+        object.__setattr__(first, "seq", 41)
+        log.append(first)
+        log.append(entry("/b"))
+        # The pre-stamped entry keeps 41; numbering still advances, so
+        # the next fresh entry sorts after it within this log.
+        assert [e.seq for e in log] == [41, 1]
+
+    def test_clear_restarts_sequence_numbering(self):
+        log = self._log()
+        log.clear()
+        log.append(entry("/x"))
+        assert next(iter(log)).seq == 0
+
+    def test_summary_counts_per_agent_in_first_seen_order(self):
+        summary = self._log().summary()
+        assert list(summary) == ["GPTBot/1.1", "Bytespider"]
+        assert summary["GPTBot/1.1"] == {"requests": 2, "robots_fetches": 1}
+        assert summary["Bytespider"] == {"requests": 1, "robots_fetches": 0}
+
+    def test_publish_feeds_the_metrics_registry(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        self._log().publish(registry, site="testbed-wildcard.example")
+        labels = {"agent": "GPTBot/1.1", "site": "testbed-wildcard.example"}
+        assert registry.counter_value("accesslog.requests", **labels) == 2
+        assert registry.counter_value("accesslog.robots_fetches", **labels) == 1
+        # Agents with zero robots fetches get no robots counter row.
+        assert registry.counter_value(
+            "accesslog.robots_fetches",
+            agent="Bytespider",
+            site="testbed-wildcard.example",
+        ) == 0
+
 
 class TestClfRoundTrip:
     def test_format_and_parse(self):

@@ -5,9 +5,14 @@ produce bit-identical results for any worker count and any execution
 mode, with results always assembled in registry order.
 """
 
+import json
+import multiprocessing
+
 import pytest
 
 from repro.cli import EXPERIMENT_IDS
+from repro.obs.metrics import shared_registry
+from repro.obs.trace import shared_tracer, tracing_enabled
 from repro.report.orchestrator import (
     EXPERIMENT_REGISTRY,
     experiment_keys,
@@ -101,6 +106,103 @@ class TestReport:
         assert report.result_for("taxonomy").experiment_id == "change_taxonomy"
         with pytest.raises(KeyError):
             report.result_for("figure3")
+
+
+class TestTelemetry:
+    #: Covers every counter source: table1 (crawler fleet, testbed
+    #: network, access logs), figure2 (bundle/world store), sec62
+    #: (population view).
+    TELEMETRY_SLICE = ["table1", "figure2", "sec62"]
+
+    def _run_and_snapshot(self, store, mode, workers):
+        shared_registry().reset()
+        shared_tracer().reset()
+        report = run_all(
+            SMALL,
+            workers=workers,
+            experiments=self.TELEMETRY_SLICE,
+            store=store,
+            mode=mode,
+        )
+        snap = shared_registry().snapshot()
+        histograms = {
+            key: (payload["counts"], payload["count"], payload["sum"])
+            for key, payload in snap["histograms"].items()
+        }
+        return report, snap["counters"], histograms
+
+    @pytest.mark.skipif(
+        "fork" not in multiprocessing.get_all_start_methods(),
+        reason="fork start method unavailable",
+    )
+    def test_counter_totals_identical_across_modes(self, store):
+        # Pre-warm the world so each mode performs identical measured
+        # work, then demand exact counter/histogram identity for
+        # serial, thread-pool, and fork-pool execution.
+        run_all(SMALL, workers=1, experiments=["figure2", "sec62"], store=store)
+        serial_report, serial_counters, serial_hists = self._run_and_snapshot(
+            store, "auto", 1
+        )
+        _, thread_counters, thread_hists = self._run_and_snapshot(store, "thread", 3)
+        _, process_counters, process_hists = self._run_and_snapshot(
+            store, "process", 3
+        )
+        assert serial_report.mode == "serial"
+        assert serial_counters
+        assert thread_counters == serial_counters
+        assert process_counters == serial_counters
+        assert thread_hists == serial_hists
+        assert process_hists == serial_hists
+
+    def test_run_produces_span_tree(self, store):
+        report = run_all(
+            SMALL, workers=1, experiments=["figure2", "table1"], store=store
+        )
+        names = [record["name"] for record in report.spans]
+        assert "run_all" in names
+        assert "world_build" in names
+        assert "experiment:figure2" in names
+        assert "experiment:table1" in names
+        # Timings are the spans: the per-experiment seconds equal the
+        # matching span durations exactly.
+        by_name = {record["name"]: record for record in report.spans}
+        for key in ("figure2", "table1"):
+            assert report.timings_seconds[key] == pytest.approx(
+                by_name[f"experiment:{key}"]["duration_seconds"], abs=1e-6
+            )
+        assert report.world_seconds == pytest.approx(
+            by_name["world_build"]["duration_seconds"], abs=1e-6
+        )
+
+    def test_tracing_flag_restored_after_run(self, store):
+        was_enabled = tracing_enabled()
+        run_all(SMALL, workers=1, experiments=["sec62"], store=store)
+        assert tracing_enabled() == was_enabled
+
+    def test_telemetry_dir_writes_artifacts(self, store, tmp_path):
+        report = run_all(
+            SMALL,
+            workers=1,
+            experiments=["figure2"],
+            store=store,
+            telemetry_dir=tmp_path,
+        )
+        metrics_path = tmp_path / "METRICS.json"
+        trace_path = tmp_path / "TRACE.jsonl"
+        assert metrics_path.exists() and trace_path.exists()
+        payload = json.loads(metrics_path.read_text())
+        assert payload["schema_version"] == 1
+        assert any(key.startswith("worldstore.") for key in payload["counters"])
+        # run_all publishes the shared compile cache as gauges on export.
+        assert "policy_cache.entries" in payload["gauges"]
+        records = [
+            json.loads(line) for line in trace_path.read_text().splitlines()
+        ]
+        assert [r["name"] for r in records] == [r["name"] for r in report.spans]
+
+    def test_to_timings_is_the_to_json_payload(self, store):
+        report = run_all(SMALL, workers=1, experiments=["table1"], store=store)
+        assert report.to_timings() == report.to_json()
 
 
 class TestRunOne:
