@@ -9,7 +9,7 @@ This bench quantifies that claim two ways and records it in
 ``benchmarks/output/OBS_OVERHEAD.json`` (gated by ``scripts/bench.py``):
 
 * per-op disabled costs of ``Counter.inc`` / ``Histogram.observe`` /
-  ``span()``, measured over a tight loop, and
+  ``Series.add`` / ``span()``, measured over a tight loop, and
 * the *implied* worst-case slowdown of the Figure 2 pipeline: even if
   every (domain, snapshot) query on its hot path crossed one disabled
   counter and the whole run crossed its spans, the added time must be
@@ -28,6 +28,7 @@ from repro.obs.metrics import (
     metrics_enabled,
     set_metrics_enabled,
 )
+from repro.obs.series import SeriesRegistry
 from repro.obs.trace import set_tracing_enabled, span, tracing_enabled
 
 #: Loop length for the per-op microbenches.
@@ -50,6 +51,7 @@ def _measure_disabled_costs() -> dict:
     registry = MetricsRegistry()
     counter = registry.counter("bench.disabled")
     histogram = registry.histogram("bench.disabled.hist")
+    series = SeriesRegistry().series("bench.disabled.series", agent="bench")
     assert not tracing_enabled()
     set_metrics_enabled(False)
     try:
@@ -58,11 +60,12 @@ def _measure_disabled_costs() -> dict:
             "histogram_observe_seconds": _per_op_seconds(
                 lambda: histogram.observe(1)
             ),
+            "series_add_seconds": _per_op_seconds(lambda: series.add(0)),
             "span_seconds": _per_op_seconds(lambda: span("bench")),
         }
     finally:
         set_metrics_enabled(True)
-    assert counter.value == 0 and histogram.count == 0
+    assert counter.value == 0 and histogram.count == 0 and series.total == 0
     return costs
 
 
@@ -97,12 +100,14 @@ def test_disabled_telemetry_overhead_on_figure2(longitudinal_bundle, artifact_di
     assert rows[-1][1] > 0  # the run really ran
 
     # Worst-case instrumentation density on the Figure 2 path: one
-    # disabled counter per (analysis domain, snapshot) query plus one
-    # span per snapshot -- far denser than the real instrumentation.
+    # disabled counter *and* one disabled time-series point per
+    # (analysis domain, snapshot) query plus one span per snapshot --
+    # far denser than the real instrumentation.
     n_counter_ops = len(series.analysis_domains) * len(series.snapshots)
     n_span_ops = len(series.snapshots) + 1
     implied_seconds = (
         n_counter_ops * costs["counter_inc_seconds"]
+        + n_counter_ops * costs["series_add_seconds"]
         + n_span_ops * costs["span_seconds"]
     )
     implied_pct = 100.0 * implied_seconds / fig2_seconds

@@ -18,6 +18,7 @@ from __future__ import annotations
 import json
 import pathlib
 import platform
+import subprocess
 import time
 
 import pytest
@@ -42,6 +43,24 @@ HISTORY_LIMIT = 50
 
 #: Wall-clock call durations per bench nodeid, collected as tests run.
 _TIMINGS: dict = {}
+
+
+def _git_commit() -> str:
+    """The short hash of HEAD, or ``"unknown"`` outside a git checkout.
+
+    Stamped into every history entry so a perf regression in the
+    trajectory can be attributed to the commit that introduced it.
+    """
+    try:
+        return subprocess.check_output(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=pathlib.Path(__file__).parent,
+            stderr=subprocess.DEVNULL,
+            text=True,
+            timeout=10,
+        ).strip() or "unknown"
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
 
 
 @pytest.fixture(scope="session")
@@ -109,10 +128,12 @@ def pytest_sessionfinish(session, exitstatus) -> None:
             previous = {}
     timings = dict(previous.get("timings_seconds", {}))
     timings.update(_TIMINGS)
+    commit = _git_commit()
     history = list(previous.get("history", []))
     history.append(
         {
             "recorded_at_unix": round(time.time(), 3),
+            "git_commit": commit,
             "python": platform.python_version(),
             "platform": platform.platform(),
             "timings_seconds": dict(sorted(_TIMINGS.items())),
@@ -121,6 +142,7 @@ def pytest_sessionfinish(session, exitstatus) -> None:
     payload = {
         "schema_version": 2,
         "recorded_at_unix": round(time.time(), 3),
+        "git_commit": commit,
         "python": platform.python_version(),
         "platform": platform.platform(),
         "timings_seconds": dict(sorted(timings.items())),

@@ -15,8 +15,10 @@ count.  Writes ``results/<experiment>.txt`` per experiment, a combined
 for EXPERIMENTS.md), a machine-readable ``results/TIMINGS.json`` with
 the span-derived wall-clock trajectory, and the run's telemetry:
 ``results/METRICS.json`` (every counter/gauge/histogram, render with
-``repro stats``) plus ``results/TRACE.jsonl`` (the hierarchical span
-records for world build, snapshot crawls, and each experiment).
+``repro stats``), ``results/SERIES.json`` (the simulated-month time
+series behind ``repro dashboard``), plus ``results/TRACE.jsonl`` (the
+hierarchical span records for world build, snapshot crawls, and each
+experiment).
 """
 
 from __future__ import annotations
@@ -100,6 +102,7 @@ def main() -> None:
     print(f"wrote {RESULTS / 'TIMINGS.json'} "
           f"(total {report.total_seconds:.1f}s)")
     print(f"wrote {RESULTS / 'METRICS.json'} (render with `repro stats`)")
+    print(f"wrote {RESULTS / 'SERIES.json'} (render with `repro dashboard`)")
     print(f"wrote {RESULTS / 'TRACE.jsonl'} ({len(full_trace)} spans)")
 
 

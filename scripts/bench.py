@@ -3,9 +3,12 @@
 
 Runs the tier-1 test suite first (a bench timing from broken code is
 worthless), then the full benchmark battery, then diffs this run's
-timings against the previous ``history`` entry in
-``benchmarks/output/BENCH_RESULTS.json`` and fails when any bench
-regressed beyond the threshold.
+timings against a **rolling baseline** -- the per-bench median over the
+last :data:`BASELINE_WINDOW` ``history`` entries in
+``benchmarks/output/BENCH_RESULTS.json`` -- and fails when any bench
+regressed beyond the threshold.  The median absorbs one-off noisy
+runs: a single slow (or fast) entry cannot move the gate the way a
+last-run-only comparison would.
 
 Usage::
 
@@ -32,20 +35,52 @@ OBS_OVERHEAD = REPO / "benchmarks" / "output" / "OBS_OVERHEAD.json"
 #: on the Figure 2 pipeline (percent; see bench_obs_overhead.py).
 OBS_OVERHEAD_BUDGET_PCT = 1.0
 
+#: History entries folded into the rolling-median baseline.
+BASELINE_WINDOW = 5
 
-def _load_last_history() -> dict:
-    """This moment's most recent per-run timings (pre-run baseline)."""
+
+def _load_history() -> list:
+    """Every recorded per-run timings map, oldest first."""
     if not RESULTS.exists():
-        return {}
+        return []
     try:
         payload = json.loads(RESULTS.read_text())
     except (ValueError, OSError):
-        return {}
+        return []
     history = payload.get("history", [])
     if history:
-        return dict(history[-1].get("timings_seconds", {}))
-    # Schema v1 files carry only the merged map; use it as the baseline.
-    return dict(payload.get("timings_seconds", {}))
+        return [dict(entry.get("timings_seconds", {})) for entry in history]
+    # Schema v1 files carry only the merged map; use it as one entry.
+    merged = dict(payload.get("timings_seconds", {}))
+    return [merged] if merged else []
+
+
+def _load_last_history() -> dict:
+    """This moment's most recent per-run timings."""
+    history = _load_history()
+    return history[-1] if history else {}
+
+
+def _median(values: list) -> float:
+    ranked = sorted(values)
+    mid = len(ranked) // 2
+    if len(ranked) % 2:
+        return ranked[mid]
+    return (ranked[mid - 1] + ranked[mid]) / 2.0
+
+
+def _rolling_baseline(history: list, window: int = BASELINE_WINDOW) -> dict:
+    """Per-nodeid median over the last *window* history entries.
+
+    A bench only contributes entries that actually ran it, so partial
+    (``-k``-filtered) runs neither dilute nor erase other benches'
+    baselines.
+    """
+    samples: dict = {}
+    for entry in history[-window:]:
+        for nodeid, seconds in entry.items():
+            samples.setdefault(nodeid, []).append(seconds)
+    return {nodeid: _median(values) for nodeid, values in samples.items()}
 
 
 def _pytest(args: list, env_path: str) -> int:
@@ -78,7 +113,7 @@ def main() -> int:
             print("tier-1 tests failed; not benchmarking broken code")
             return 2
 
-    baseline = _load_last_history()
+    baseline = _rolling_baseline(_load_history())
 
     print("\n== benchmarks ==", flush=True)
     bench_args = ["benchmarks", "-q"]
@@ -93,7 +128,8 @@ def main() -> int:
         print("no timings recorded; nothing to compare")
         return 0
 
-    print("\n== perf trajectory (vs previous run) ==")
+    print(f"\n== perf trajectory (vs median of last "
+          f"{BASELINE_WINDOW} runs) ==")
     regressions = []
     width = max((len(k) for k in current), default=0)
     for nodeid in sorted(current):
@@ -108,7 +144,7 @@ def main() -> int:
             flag = "  <-- REGRESSION"
             regressions.append((nodeid, prev, now, delta))
         print(f"  {nodeid:<{width}}  {now:8.3f}s  "
-              f"(prev {prev:.3f}s, {delta:+.0%}){flag}")
+              f"(baseline {prev:.3f}s, {delta:+.0%}){flag}")
 
     overhead_ok = _check_obs_overhead()
 

@@ -10,7 +10,9 @@ Installed as the ``repro`` console script::
     repro agents                                # the Table 1 registry
     repro experiment figure2 [--fast]           # run a paper experiment
     repro reproduce --workers 4 [--fast]        # run the whole battery
-    repro stats results/METRICS.json            # render a telemetry export
+    repro stats results --critical-path         # where did the time go?
+    repro stats --diff base/ candidate/         # CI regression gate
+    repro dashboard results --category news     # agent x month operator view
 """
 
 from __future__ import annotations
@@ -90,18 +92,41 @@ def build_parser() -> argparse.ArgumentParser:
                            choices=EXPERIMENT_IDS, default=None,
                            help="run only these experiments")
     reproduce.add_argument("--telemetry-dir", metavar="DIR", default=None,
-                           help="also write METRICS.json and TRACE.jsonl "
-                                "into DIR")
+                           help="also write METRICS.json, SERIES.json and "
+                                "TRACE.jsonl into DIR")
 
     stats = sub.add_parser(
         "stats",
-        help="render a METRICS.json telemetry export as tables",
+        help="analyze a telemetry directory (tables, critical path, run diffs)",
     )
-    stats.add_argument("metrics_file", nargs="?", default="results/METRICS.json",
-                       help="path to a METRICS.json export "
-                            "(default: results/METRICS.json)")
+    stats.add_argument("telemetry", nargs="?", default="results",
+                       help="telemetry directory or METRICS.json path "
+                            "(default: results)")
     stats.add_argument("--section", choices=["counters", "gauges", "histograms"],
-                       default=None, help="print only one section")
+                       default=None, help="print only one metrics section")
+    stats.add_argument("--critical-path", action="store_true",
+                       help="print the slowest span chain from TRACE.jsonl")
+    stats.add_argument("--utilization", action="store_true",
+                       help="print the experiment-worker concurrency timeline")
+    stats.add_argument("--folded", metavar="PATH", default=None,
+                       help="write flamegraph-style folded stacks to PATH")
+    stats.add_argument("--diff", nargs=2, metavar=("BASELINE", "CANDIDATE"),
+                       default=None,
+                       help="structurally diff two telemetry directories; "
+                            "exits 1 on regressions (CI gate)")
+    stats.add_argument("--threshold", type=float, default=0.25,
+                       help="relative-change threshold for --diff "
+                            "(default: 0.25)")
+
+    dashboard = sub.add_parser(
+        "dashboard",
+        help="per-agent monthly traffic/block matrix from SERIES.json",
+    )
+    dashboard.add_argument("telemetry", nargs="?", default="results",
+                           help="telemetry directory containing SERIES.json "
+                                "(default: results)")
+    dashboard.add_argument("--category", default=None,
+                           help="restrict to one site_category cohort")
 
     serve = sub.add_parser("serve", help="serve a directory over localhost HTTP")
     serve.add_argument("directory")
@@ -234,25 +259,15 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         print(f"  {entry['key']:12s} {entry['seconds']:.2f}s")
     if args.telemetry_dir:
         print(f"telemetry: {args.telemetry_dir}/METRICS.json, "
+              f"{args.telemetry_dir}/SERIES.json, "
               f"{args.telemetry_dir}/TRACE.jsonl "
               f"({len(report.spans)} spans)")
     return 0
 
 
-def _cmd_stats(args: argparse.Namespace) -> int:
-    import json
-
-    try:
-        with open(args.metrics_file, "r", encoding="utf-8") as handle:
-            payload = json.load(handle)
-    except FileNotFoundError:
-        print(f"no metrics export at {args.metrics_file} "
-              f"(run `repro reproduce --telemetry-dir results` first)",
-              file=sys.stderr)
-        return 1
-
-    sections = [args.section] if args.section else ["counters", "gauges", "histograms"]
-    print(f"metrics export: {args.metrics_file} "
+def _print_metrics_tables(payload: dict, source: str, section) -> None:
+    sections = [section] if section else ["counters", "gauges", "histograms"]
+    print(f"metrics export: {source} "
           f"(schema v{payload.get('schema_version', '?')})")
     if "counters" in sections:
         rows = sorted(payload.get("counters", {}).items())
@@ -273,6 +288,127 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         print(f"\nhistograms ({len(rows)}):")
         print(render_table(["histogram", "count", "sum", "mean"], rows)
               if rows else "  (none)")
+
+
+def _print_diff(diff) -> None:
+    if diff.timing_regressions:
+        rows = [(name, f"{a:.3f}", f"{b:.3f}", f"+{(b - a) / a * 100.0:.0f}%")
+                for name, a, b in diff.timing_regressions]
+        print(f"timing regressions ({len(rows)}):")
+        print(render_table(["span", "baseline s", "candidate s", "change"], rows))
+    if diff.timing_improvements:
+        rows = [(name, f"{a:.3f}", f"{b:.3f}", f"{(b - a) / a * 100.0:.0f}%")
+                for name, a, b in diff.timing_improvements]
+        print(f"\ntiming improvements ({len(rows)}):")
+        print(render_table(["span", "baseline s", "candidate s", "change"], rows))
+    drift = [("counter", *row) for row in diff.counter_drift]
+    drift += [("series", *row) for row in diff.series_drift]
+    if drift:
+        rows = [(kind, key, f"{a:g}", f"{b:g}") for kind, key, a, b in drift]
+        print(f"\nmetric drift ({len(rows)}):")
+        print(render_table(["kind", "key", "baseline", "candidate"], rows))
+    for label, keys in (("removed", diff.removed), ("added", diff.added)):
+        if keys:
+            print(f"\n{label} keys ({len(keys)}):")
+            for key in keys:
+                print(f"  {key}")
+    if diff.has_regressions:
+        print("\nRESULT: REGRESSED "
+              f"(threshold {diff.threshold:.0%}; see above)")
+    else:
+        print(f"\nRESULT: OK (no drift beyond {diff.threshold:.0%})")
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .obs.analyze import (
+        TelemetryError,
+        critical_path,
+        diff_runs,
+        folded_stacks,
+        load_metrics,
+        load_trace,
+        worker_utilization,
+    )
+
+    try:
+        if args.diff is not None:
+            diff = diff_runs(args.diff[0], args.diff[1],
+                             threshold=args.threshold)
+            _print_diff(diff)
+            return 1 if diff.has_regressions else 0
+
+        target = Path(args.telemetry)
+        metrics_path = target / "METRICS.json" if target.is_dir() else target
+        trace_path = metrics_path.parent / "TRACE.jsonl"
+
+        wants_trace = args.critical_path or args.utilization or args.folded
+        if not wants_trace:
+            payload = load_metrics(metrics_path)
+            _print_metrics_tables(payload, str(metrics_path), args.section)
+            return 0
+
+        records = load_trace(trace_path)
+        if args.critical_path:
+            chain = critical_path(records)
+            print(f"critical path ({len(chain)} spans, "
+                  f"{sum(float(r.get('duration_seconds', 0.0)) for r in chain[:1]):.3f}s root):")
+            for depth, record in enumerate(chain):
+                print(f"  {'  ' * depth}{record.get('name', '?')} "
+                      f"{float(record.get('duration_seconds', 0.0)):.3f}s")
+        if args.utilization:
+            timeline = worker_utilization(records)
+            rows = [(f"{seg['start']:.3f}", f"{seg['end']:.3f}", seg["active"])
+                    for seg in timeline]
+            print(f"\nworker utilization ({len(rows)} intervals):")
+            print(render_table(["start s", "end s", "active"], rows)
+                  if rows else "  (no experiment spans)")
+        if args.folded:
+            lines = folded_stacks(records)
+            with open(args.folded, "w", encoding="utf-8") as handle:
+                handle.write("\n".join(lines) + "\n")
+            print(f"\nwrote {len(lines)} folded stack lines to {args.folded}")
+        return 0
+    except TelemetryError as exc:
+        print(f"repro stats: {exc}", file=sys.stderr)
+        return 2
+
+
+def _cmd_dashboard(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .crawlers.commoncrawl import month_label
+    from .obs.analyze import TelemetryError, dashboard_matrix, load_series
+
+    try:
+        series_path = Path(args.telemetry) / "SERIES.json"
+        matrix = dashboard_matrix(load_series(series_path),
+                                  category=args.category)
+    except TelemetryError as exc:
+        print(f"repro dashboard: {exc}", file=sys.stderr)
+        return 2
+
+    cohort = f"site_category={args.category}" if args.category else "all sites"
+    if not matrix:
+        print(f"no sim.requests series for {cohort} in {series_path}")
+        return 0
+
+    months = sorted({m for rows in matrix.values() for m in rows})
+    print(f"operator dashboard ({cohort}); cells are "
+          "requests / blocked / challenged per simulated month")
+    table_rows = []
+    for agent in sorted(matrix):
+        row = [agent]
+        for month in months:
+            cell = matrix[agent].get(month)
+            row.append(
+                f"{cell['requests']}/{cell['blocked']}/{cell['challenged']}"
+                if cell else "-"
+            )
+        table_rows.append(tuple(row))
+    headers = ["agent"] + [month_label(m) if m >= 0 else "?" for m in months]
+    print(render_table(headers, table_rows))
     return 0
 
 
@@ -307,6 +443,7 @@ _HANDLERS = {
     "experiment": _cmd_experiment,
     "reproduce": _cmd_reproduce,
     "stats": _cmd_stats,
+    "dashboard": _cmd_dashboard,
     "serve": _cmd_serve,
 }
 

@@ -29,6 +29,7 @@ from ..net.http import Headers, Request, Response
 from ..net.server import extract_links
 from ..net.transport import Network
 from ..obs.metrics import shared_registry
+from ..obs.series import shared_series
 from .profiles import CrawlerProfile, RobotsBehavior
 
 __all__ = ["CrawlResult", "Crawler"]
@@ -110,6 +111,17 @@ class Crawler:
         )
         self._deny_counter = registry.counter(
             "crawler.robots_decisions", agent=agent, decision="deny"
+        )
+        # Crawler-side time series on the simulated-month clock: what
+        # each agent attempted vs what robots.txt denied it.  Only the
+        # crawler can record ``robots_disallowed`` -- a skipped fetch
+        # never reaches the server.
+        series = shared_series()
+        self._fetched_series = series.series(
+            "crawl.requests", agent=agent, outcome="fetched"
+        )
+        self._denied_series = series.series(
+            "crawl.requests", agent=agent, outcome="robots_disallowed"
         )
 
     # -- plumbing -------------------------------------------------------------
@@ -235,6 +247,8 @@ class Crawler:
         # Only genuine robots consultations count as decisions; bots
         # with no policy (or none they obey) never "decided" anything.
         (self._allow_counter if allowed else self._deny_counter).inc()
+        if not allowed:
+            self._denied_series.add(self.network.month)
         return allowed
 
     # -- public API ---------------------------------------------------------------
@@ -253,6 +267,7 @@ class Crawler:
             return result
         try:
             self._fetches_counter.inc()
+            self._fetched_series.add(self.network.month)
             response = self._request(host, path)
             result.fetched.append((path, response.status))
         except NetError as exc:
@@ -312,6 +327,7 @@ class Crawler:
                 break
             try:
                 self._fetches_counter.inc()
+                self._fetched_series.add(self.network.month)
                 response = self._request(host, path)
             except NetError as exc:
                 result.errors.append(str(exc))

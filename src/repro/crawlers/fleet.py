@@ -111,6 +111,8 @@ def build_fleet(network: Network) -> Dict[str, FleetMember]:
     metrics = shared_registry()
     metrics.inc("fleet.builds")
     metrics.set_gauge("fleet.size", len(fleet))
+    for agent in registry.real_crawlers():
+        metrics.inc("fleet.members", category=agent.category.value)
     return fleet
 
 

@@ -65,12 +65,22 @@ class PolicyCache:
         }
 
     def publish(self, registry=None, prefix: str = "measure.policy_cache") -> None:
-        """Export the memo tallies to a metrics registry as gauges."""
+        """Export the memo tallies to a metrics registry as gauges.
+
+        Gauges, not counters: shared-cache hit/miss splits depend on
+        which worker warmed the memo first, so they are process-local
+        observations outside the cross-mode determinism contract.
+        """
         from ..obs.metrics import shared_registry
 
         registry = registry if registry is not None else shared_registry()
-        for name, value in self.stats.items():
+        stats = self.stats
+        for name, value in stats.items():
             registry.set_gauge(f"{prefix}.{name}", value)
+        probes = stats["hits"] + stats["misses"]
+        registry.set_gauge(
+            f"{prefix}.hit_rate", stats["hits"] / probes if probes else 0.0
+        )
 
     def policy(self, text: Union[str, bytes]) -> CompiledRobots:
         """The shared compiled policy for *text* (parsed at most once)."""

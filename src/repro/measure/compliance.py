@@ -116,6 +116,7 @@ def run_passive_measurement(
     """Let unprompted crawlers roam the testbed for *months* steps."""
     for step in range(months):
         testbed.network.now = float(step * 30 * 86400)
+        testbed.network.month = step
         for member in fleet.values():
             if not member.visits_unprompted:
                 continue

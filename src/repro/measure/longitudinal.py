@@ -38,6 +38,8 @@ from ..crawlers.commoncrawl import (
     SnapshotSpec,
 )
 from ..net.transport import Network
+from ..obs.metrics import metrics_enabled
+from ..obs.series import shared_series
 from ..obs.trace import adopt_current_span, current_span, span
 from ..web.population import WebPopulation
 from .cache import PolicyCache
@@ -237,10 +239,8 @@ def full_disallow_trend(
                 counts = tier_counts[0] if is_top else tier_counts[1]
                 counts[body] = counts.get(body, 0) + 1
 
-            def rate(counts: Dict[Optional[str], int], total: int) -> float:
-                if not total:
-                    return 0.0
-                hits = sum(
+            def tier_hits(counts: Dict[Optional[str], int]) -> int:
+                return sum(
                     count
                     for body, count in counts.items()
                     if body is not None
@@ -248,13 +248,23 @@ def full_disallow_trend(
                         body, agents, require_explicit=require_explicit
                     )
                 )
-                return 100.0 * hits / total
 
+            hits_top = tier_hits(tier_counts[0])
+            hits_other = tier_hits(tier_counts[1])
+            if metrics_enabled():
+                month = snapshot.spec.month_index
+                series_registry = shared_series()
+                series_registry.add(
+                    "measure.sites_full_disallow", month, hits_top, tier="top5k"
+                )
+                series_registry.add(
+                    "measure.sites_full_disallow", month, hits_other, tier="other"
+                )
             rows.append(
                 (
                     snapshot.spec.snapshot_id,
-                    rate(tier_counts[0], n_top),
-                    rate(tier_counts[1], n_other),
+                    100.0 * hits_top / n_top if n_top else 0.0,
+                    100.0 * hits_other / n_other if n_other else 0.0,
                 )
             )
     return rows
@@ -281,6 +291,13 @@ def per_agent_trend(
                     continue
                 if cache.classification(body, agent).level.disallows:
                     hits += count
+            if metrics_enabled():
+                shared_series().add(
+                    "measure.sites_disallowing",
+                    snapshot.spec.month_index,
+                    hits,
+                    agent=agent,
+                )
             pct = 100.0 * hits / len(population) if population else 0.0
             out[agent].append((snapshot.spec.snapshot_id, pct))
     return out

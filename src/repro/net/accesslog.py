@@ -14,9 +14,78 @@ import re
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional
 
-from ..obs.metrics import MetricsRegistry, shared_registry
+from ..agents.darkvisitors import AI_USER_AGENT_TOKENS
+from ..obs.metrics import MetricsRegistry, metrics_enabled, shared_registry
+from ..obs.series import SeriesRegistry, shared_series
 
-__all__ = ["LogEntry", "AccessLog", "format_clf", "parse_clf_line"]
+__all__ = [
+    "LogEntry",
+    "AccessLog",
+    "agent_label",
+    "record_sim_request",
+    "format_clf",
+    "parse_clf_line",
+]
+
+#: Lowered token -> canonical label, in registry order (first match wins).
+_AGENT_TOKEN_TABLE = tuple(
+    (token.lower(), token) for token in AI_USER_AGENT_TOKENS
+)
+
+#: Memo of raw UA string -> canonical label.  Bounded: synthetic UAs in
+#: the simulation repeat across runs, but a cap keeps adversarial
+#: cardinality (random UA suffixes) from growing the dict forever.
+_AGENT_LABEL_MEMO: Dict[str, str] = {}
+_AGENT_LABEL_MEMO_CAP = 8192
+
+
+def agent_label(user_agent: str) -> str:
+    """Normalize a raw User-Agent into the bounded agent vocabulary.
+
+    Returns the canonical Table 1 crawler token whose name appears in
+    the UA (case-insensitive substring, registry order), or ``"other"``
+    -- the label normalization that keeps series cardinality bounded.
+    """
+    label = _AGENT_LABEL_MEMO.get(user_agent)
+    if label is None:
+        lowered = user_agent.lower()
+        label = "other"
+        for token_lower, token in _AGENT_TOKEN_TABLE:
+            if token_lower in lowered:
+                label = token
+                break
+        if len(_AGENT_LABEL_MEMO) < _AGENT_LABEL_MEMO_CAP:
+            _AGENT_LABEL_MEMO[user_agent] = label
+    return label
+
+
+#: ``(agent, outcome, category)`` -> series handle, cached because the
+#: request path is hot and registry probes cost a sorted-tuple build.
+_SIM_REQUEST_SERIES: Dict[tuple, object] = {}
+
+
+def record_sim_request(
+    user_agent: str, outcome: str, category: str, month: int
+) -> None:
+    """Record one simulated request into the ``sim.requests`` series.
+
+    Shared by the origin server (``served`` / ``not_found``) and the
+    proxy layers (``blocked_403`` / ``challenged`` / ``decoy`` /
+    ``reset``), so every request lands in the operator-view matrix
+    exactly once, at the layer that terminated it.
+    """
+    agent = agent_label(user_agent)
+    handle_key = (agent, outcome, category)
+    series = _SIM_REQUEST_SERIES.get(handle_key)
+    if series is None:
+        series = shared_series().series(
+            "sim.requests",
+            agent=agent,
+            outcome=outcome,
+            site_category=category or "uncategorized",
+        )
+        _SIM_REQUEST_SERIES[handle_key] = series
+    series.add(month)
 
 
 @dataclass(frozen=True)
@@ -38,6 +107,9 @@ class LogEntry:
             timestamps tie constantly (many fetches share one logical
             month), so parallel analysis passes sort on ``(timestamp,
             seq)`` for a deterministic order.
+        month: Simulated-month index (the logical clock spans and
+            series use) at which the request was served; -1 when the
+            serving handler was never clocked.
     """
 
     timestamp: float
@@ -49,6 +121,7 @@ class LogEntry:
     user_agent: str
     host: str = ""
     seq: int = -1
+    month: int = -1
 
     @property
     def is_robots_fetch(self) -> bool:
@@ -164,17 +237,49 @@ class AccessLog:
                 counts["robots_fetches"] += 1
         return out
 
+    def monthly_summary(self) -> Dict[str, Dict[int, Dict[str, int]]]:
+        """Month-bucketed per-agent rollup of this log.
+
+        Returns ``{agent_label: {month: {"requests": n,
+        "robots_fetches": n, "blocked": n}}}`` with agents normalized
+        through :func:`agent_label` and months ascending -- the same
+        nested shape ``repro dashboard`` renders from ``SERIES.json``,
+        so one renderer serves both sources.  ``blocked`` counts 403
+        responses.
+        """
+        out: Dict[str, Dict[int, Dict[str, int]]] = {}
+        for entry in self._entries:
+            agent = agent_label(entry.user_agent)
+            months = out.setdefault(agent, {})
+            counts = months.get(entry.month)
+            if counts is None:
+                counts = {"requests": 0, "robots_fetches": 0, "blocked": 0}
+                months[entry.month] = counts
+            counts["requests"] += 1
+            if entry.is_robots_fetch:
+                counts["robots_fetches"] += 1
+            if entry.status == 403:
+                counts["blocked"] += 1
+        return {
+            agent: dict(sorted(months.items())) for agent, months in out.items()
+        }
+
     def publish(
         self,
         registry: Optional[MetricsRegistry] = None,
         site: str = "",
+        series: Optional[SeriesRegistry] = None,
     ) -> None:
         """Feed :meth:`summary` into a metrics registry as counters.
 
         Counters: ``accesslog.requests{agent=...}`` and
         ``accesslog.robots_fetches{agent=...}`` (plus ``site=`` when
-        given).  Call once per measurement window; repeated calls add.
+        given).  The :meth:`monthly_summary` rollup additionally feeds
+        the ``accesslog.requests`` *series* per month.  Call once per
+        measurement window; repeated calls add.
         """
+        if not metrics_enabled():
+            return
         registry = registry if registry is not None else shared_registry()
         for user_agent, counts in self.summary().items():
             labels = {"agent": user_agent}
@@ -184,6 +289,15 @@ class AccessLog:
             if counts["robots_fetches"]:
                 registry.inc(
                     "accesslog.robots_fetches", counts["robots_fetches"], **labels
+                )
+        series = series if series is not None else shared_series()
+        for agent, months in self.monthly_summary().items():
+            labels = {"agent": agent}
+            if site:
+                labels["site"] = site
+            for month, counts in months.items():
+                series.add(
+                    "accesslog.requests", month, counts["requests"], **labels
                 )
 
 

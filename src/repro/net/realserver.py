@@ -201,6 +201,9 @@ class RemoteNetwork:
     def __init__(self, address: str):
         self.address = address
         self.now: float = 0.0
+        # Network-interface parity: crawlers stamp their series on the
+        # transport's month clock; a remote transport is unclocked.
+        self.month: int = -1
 
     def request(self, request: Request) -> Response:
         extra = {"X-Forwarded-For": request.client_ip}

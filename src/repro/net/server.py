@@ -19,8 +19,9 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
 from ..obs.metrics import metrics_enabled, shared_registry
-from .accesslog import AccessLog, LogEntry
+from .accesslog import AccessLog, LogEntry, record_sim_request
 from .http import Headers, Request, Response
+from .transport import current_month
 
 __all__ = ["Page", "Website", "extract_links", "render_page"]
 
@@ -112,6 +113,9 @@ class Website:
         self.redirect_to_host: Optional[str] = None
         #: Clock for log entries; tests and drivers may set it directly.
         self.now: float = 0.0
+        #: Site category (stamped by :meth:`SimSite.build_origin`); the
+        #: ``site_category`` label on the ``sim.requests`` series.
+        self.category: str = ""
 
     # -- content management -------------------------------------------------
 
@@ -172,8 +176,16 @@ class Website:
     def handle(self, request: Request) -> Response:
         """Serve one request and log it."""
         response = self._respond(request)
-        if metrics_enabled() and request.path_only == "/robots.txt":
-            _count_robots_serve(response.status)
+        month = current_month()
+        if metrics_enabled():
+            if request.path_only == "/robots.txt":
+                _count_robots_serve(response.status)
+            record_sim_request(
+                request.user_agent,
+                "served" if response.status < 400 else "not_found",
+                self.category,
+                month,
+            )
         self.access_log.append(
             LogEntry(
                 timestamp=self.now,
@@ -184,6 +196,7 @@ class Website:
                 body_bytes=response.content_length,
                 user_agent=request.user_agent,
                 host=self.host,
+                month=month,
             )
         )
         return response

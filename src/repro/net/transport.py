@@ -11,13 +11,31 @@ seconds.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Dict, Iterable, Iterator, Optional, Protocol
 
 from ..obs.metrics import MetricsRegistry, metrics_enabled, shared_registry
 from .errors import ConnectionRefused, ConnectionReset, DNSFailure
 from .http import Request, Response
 
-__all__ = ["Handler", "Network"]
+__all__ = ["Handler", "Network", "current_month"]
+
+#: Per-thread simulated-month clock, stamped by :meth:`Network.request`
+#: before dispatch.  Handlers read it via :func:`current_month` instead
+#: of instance state because handler objects are memoized per robots
+#: text and shared across concurrently-collected snapshots -- an
+#: instance attribute would race across months the way ``now`` does
+#: (harmless for append-only logs, fatal for exported series).
+_CLOCK = threading.local()
+
+
+def current_month() -> int:
+    """The simulated-month index of the request being dispatched.
+
+    Returns -1 outside a clocked :meth:`Network.request` dispatch
+    (e.g. direct ``handler.handle`` calls in tests).
+    """
+    return getattr(_CLOCK, "month", -1)
 
 
 class Handler(Protocol):
@@ -44,6 +62,9 @@ class Network:
         self._handlers: Dict[str, Handler] = {}
         self._failures: Dict[str, Callable[[Request], Exception]] = {}
         self.now: float = 0.0
+        #: Simulated-month index (the series/span logical clock); -1
+        #: until a measurement loop or materialization sets it.
+        self.month: int = -1
         self._registry = registry if registry is not None else shared_registry()
         # Counter handles cached per status / error kind so the
         # per-request cost is one dict probe plus one locked add.
@@ -184,9 +205,11 @@ class Network:
             if metered:
                 self._count_error("DNSFailure")
             raise DNSFailure(request.host)
-        # Propagate the simulation clock to handlers that keep logs.
+        # Propagate the simulation clocks: ``now`` to handlers that
+        # keep logs, the month to this thread's dispatch clock.
         if hasattr(handler, "now"):
             handler.now = self.now
+        _CLOCK.month = self.month
         response = handler.handle(request)
         if metered:
             self._count_response(response.status)

@@ -1,13 +1,22 @@
 """``repro.obs`` -- unified, dependency-free telemetry for the pipeline.
 
-Two primitives, one process-wide instance of each:
+Three primitives, one process-wide instance of each:
 
 * :mod:`repro.obs.metrics` -- a :class:`~repro.obs.metrics.MetricsRegistry`
   of counters, gauges, and fixed-bucket histograms, with a
   snapshot/delta/merge protocol so orchestrator workers (threads *or*
   forked processes) ship their activity back to the parent.
+* :mod:`repro.obs.series` -- labeled time series on the simulated-month
+  logical clock (the per-agent monthly traffic/block matrix a site
+  operator would see), sharing the metrics enable flag and the same
+  snapshot/delta/merge worker protocol; exported as ``SERIES.json``.
 * :mod:`repro.obs.trace` -- hierarchical spans with deterministic ids
   and wall + logical (simulated month) clocks, exported as JSONL.
+
+Post-hoc analysis of the exported artifacts (critical path, worker
+utilization, folded stacks, run diffs) lives in
+:mod:`repro.obs.analyze`, surfaced by ``repro stats`` / ``repro
+dashboard``.
 
 Defaults: metrics **on** (cheap: one lock per increment on
 already-coarse call sites), tracing **off** (a disabled ``span()``
@@ -30,11 +39,19 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
     export_metrics,
+    metrics_disabled,
     metrics_enabled,
     set_metrics_enabled,
     shared_registry,
     snapshot_delta,
 )
+from .series import (
+    Series,
+    SeriesRegistry,
+    export_series,
+    shared_series,
+)
+from .series import snapshot_delta as series_snapshot_delta
 from .trace import (
     Span,
     Tracer,
@@ -51,16 +68,22 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "Series",
+    "SeriesRegistry",
     "Span",
     "Tracer",
     "current_span",
     "disable_all",
     "enable_all",
     "export_metrics",
+    "export_series",
+    "metrics_disabled",
     "metrics_enabled",
+    "series_snapshot_delta",
     "set_metrics_enabled",
     "set_tracing_enabled",
     "shared_registry",
+    "shared_series",
     "shared_tracer",
     "snapshot_delta",
     "span",

@@ -46,6 +46,7 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "METRICS_SCHEMA_VERSION",
     "metrics_enabled",
+    "metrics_disabled",
     "set_metrics_enabled",
     "shared_registry",
     "snapshot_delta",
@@ -77,6 +78,31 @@ def set_metrics_enabled(enabled: bool) -> None:
     """Globally enable/disable metric recording (reads still work)."""
     global _ENABLED
     _ENABLED = bool(enabled)
+
+
+class _MetricsDisabled:
+    """Context manager: metrics (and series) off inside the block."""
+
+    __slots__ = ("_was",)
+
+    def __enter__(self) -> "_MetricsDisabled":
+        global _ENABLED
+        self._was = _ENABLED
+        _ENABLED = False
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        set_metrics_enabled(self._was)
+        return False
+
+
+def metrics_disabled() -> _MetricsDisabled:
+    """``with metrics_disabled(): ...`` -- silence recording, then restore.
+
+    The flag is restored to whatever it was on entry, so nesting and
+    use inside already-disabled regions are safe.
+    """
+    return _MetricsDisabled()
 
 
 def _make_key(name: str, labels: Dict[str, object]) -> InstrumentKey:

@@ -65,9 +65,56 @@ _CURRENT: ContextVar[Optional["Span"]] = ContextVar(
 )
 
 
-def tracing_enabled() -> bool:
-    """Whether spans are currently recorded."""
-    return _ENABLED
+class _TracingEnabled:
+    """Dual-purpose handle returned by :func:`tracing_enabled`.
+
+    * As a predicate it is truthy iff tracing was enabled at call time
+      (``if tracing_enabled():`` / ``assert not tracing_enabled()``),
+      and compares equal to plain bools.
+    * As a context manager it *forces tracing on* inside the block and
+      restores the prior flag on exit -- the symmetric partner of
+      :func:`repro.obs.metrics.metrics_disabled`.
+    """
+
+    __slots__ = ("_snapshot", "_was")
+
+    def __init__(self, snapshot: bool):
+        self._snapshot = snapshot
+        self._was = snapshot
+
+    def __bool__(self) -> bool:
+        return self._snapshot
+
+    def __eq__(self, other: object):
+        if isinstance(other, (bool, _TracingEnabled)):
+            return bool(self) is bool(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._snapshot)
+
+    def __repr__(self) -> str:
+        return f"tracing_enabled()={self._snapshot}"
+
+    def __enter__(self) -> "_TracingEnabled":
+        global _ENABLED
+        self._was = _ENABLED
+        _ENABLED = True
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        set_tracing_enabled(self._was)
+        return False
+
+
+def tracing_enabled() -> _TracingEnabled:
+    """Whether spans are currently recorded; also a force-on context.
+
+    ``bool(tracing_enabled())`` reads the flag; ``with
+    tracing_enabled(): ...`` turns tracing on for the block and
+    restores the previous state afterwards.
+    """
+    return _TracingEnabled(_ENABLED)
 
 
 def set_tracing_enabled(enabled: bool) -> None:

@@ -35,7 +35,7 @@ from ..agents.ipranges import ip_in_published_range
 from ..agents.useragent import contains_token, matches_any, primary_product
 from ..net.http import Request, Response
 from ..net.transport import Handler
-from .reverse_proxy import ReverseProxy
+from .reverse_proxy import ACTION_OUTCOMES, ReverseProxy
 from .rules import Action, RuleSet
 
 __all__ = ["CloudflareSettings", "CloudflareProxy"]
@@ -113,6 +113,7 @@ class CloudflareProxy(ReverseProxy):
         custom = self.ruleset.decide(request)
         if custom is not None:
             self.dashboard.append((ua, "custom"))
+            self._record_outcome(request, ACTION_OUTCOMES[custom])
             response = self._interstitial(custom, request)
             self._log(request, response.status, response.content_length)
             return response
@@ -125,6 +126,7 @@ class CloudflareProxy(ReverseProxy):
         # non-published IP -- measure the Block AI Bots list at all.
         if self.settings.definitely_automated and self._is_spoofed_verified_bot(request):
             self.dashboard.append((ua, "spoofed-verified-bot"))
+            self._record_outcome(request, "blocked_403")
             response = self._interstitial(Action.BLOCK, request)
             self._log(request, response.status, response.content_length)
             return response
@@ -132,22 +134,24 @@ class CloudflareProxy(ReverseProxy):
         if self.settings.block_ai_bots and self._matches_block_ai(ua):
             if self.settings.ai_labyrinth:
                 self.dashboard.append((ua, "labyrinth"))
+                self._record_outcome(request, "decoy")
                 response = self._interstitial(Action.FAKE_CONTENT, request)
             else:
                 self.dashboard.append((ua, "block-ai"))
+                self._record_outcome(request, "blocked_403")
                 response = self._interstitial(Action.BLOCK, request)
             self._log(request, response.status, response.content_length)
             return response
 
         if self.settings.definitely_automated and self._matches_definitely_automated(ua):
             self.dashboard.append((ua, "managed-challenge"))
+            self._record_outcome(request, "challenged")
             response = self._interstitial(Action.CHALLENGE, request)
             self._log(request, response.status, response.content_length)
             return response
 
         self.dashboard.append((ua, "pass"))
-        if hasattr(self.origin, "now"):
-            self.origin.now = self.now
+        self._forward_clocks()
         response = self.origin.handle(request)
         self._log(request, response.status, response.content_length)
         return response

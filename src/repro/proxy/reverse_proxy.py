@@ -14,15 +14,26 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..net.accesslog import AccessLog, LogEntry
+from ..net.accesslog import AccessLog, LogEntry, record_sim_request
 from ..net.errors import ConnectionReset
 from ..net.http import Request, Response
-from ..net.transport import Handler
+from ..net.transport import Handler, current_month
+from ..obs.metrics import metrics_enabled
 from .challenges import block_page, captcha_page, challenge_page, labyrinth_page
 from .fingerprint import is_automated
 from .rules import Action, RuleSet
 
-__all__ = ["ReverseProxy"]
+__all__ = ["ReverseProxy", "ACTION_OUTCOMES"]
+
+#: Rule action -> the ``outcome`` label recorded in the ``sim.requests``
+#: series (the operator-view vocabulary: what the client experienced).
+ACTION_OUTCOMES = {
+    Action.BLOCK: "blocked_403",
+    Action.CAPTCHA: "blocked_403",
+    Action.CHALLENGE: "challenged",
+    Action.FAKE_CONTENT: "decoy",
+    Action.RESET: "reset",
+}
 
 
 class ReverseProxy:
@@ -63,6 +74,18 @@ class ReverseProxy:
         """The origin's hostname (routing key)."""
         return getattr(self.origin, "host", "")
 
+    @property
+    def category(self) -> str:
+        """The origin's site category (series label pass-through)."""
+        return getattr(self.origin, "category", "")
+
+    def _record_outcome(self, request: Request, outcome: str) -> None:
+        """Record a proxy-terminated request into the operator series."""
+        if metrics_enabled():
+            record_sim_request(
+                request.user_agent, outcome, self.category, current_month()
+            )
+
     # -- interstitial construction ------------------------------------------
 
     def _interstitial(self, action: Action, request: Request) -> Response:
@@ -100,17 +123,27 @@ class ReverseProxy:
         if action is None and self.block_all_automation and is_automated(request):
             action = self.automation_action
         if action is Action.RESET:
+            self._record_outcome(request, ACTION_OUTCOMES[action])
             self._log(request, 0, 0)
             raise ConnectionReset(request.host)
         if action is not None:
+            self._record_outcome(request, ACTION_OUTCOMES[action])
             response = self._interstitial(action, request)
             self._log(request, response.status, response.content_length)
             return response
-        if hasattr(self.origin, "now"):
-            self.origin.now = self.now
+        self._forward_clocks()
         response = self.origin.handle(request)
         self._log(request, response.status, response.content_length)
         return response
+
+    def _forward_clocks(self) -> None:
+        """Propagate the wall clock to the origin before forwarding.
+
+        The month needs no forwarding: it rides the per-thread dispatch
+        clock (:func:`repro.net.transport.current_month`).
+        """
+        if hasattr(self.origin, "now"):
+            self.origin.now = self.now
 
     def _log(self, request: Request, status: int, size: int) -> None:
         self.access_log.append(
@@ -123,5 +156,6 @@ class ReverseProxy:
                 body_bytes=size,
                 user_agent=request.user_agent,
                 host=request.host,
+                month=current_month(),
             )
         )

@@ -16,8 +16,24 @@ from typing import Iterable, List, Optional, Sequence
 
 from ..agents.useragent import matches_any
 from ..net.http import Request
+from ..obs.metrics import metrics_enabled, shared_registry
 
 __all__ = ["Action", "BlockRule", "RuleSet"]
+
+#: ``(action value, rule label)`` -> counter handle; decide() runs per
+#: proxied request, so the registry probe happens once per rule kind.
+_RULE_MATCH_COUNTERS: dict = {}
+
+
+def _count_rule_match(action: "Action", label: str) -> None:
+    key = (action.value, label)
+    counter = _RULE_MATCH_COUNTERS.get(key)
+    if counter is None:
+        counter = shared_registry().counter(
+            "proxy.rule_matches", action=action.value, rule=label or "unlabeled"
+        )
+        _RULE_MATCH_COUNTERS[key] = counter
+    counter.inc()
 
 
 class Action(enum.Enum):
@@ -103,6 +119,8 @@ class RuleSet:
         """
         for rule in self.rules:
             if rule.matches(request):
+                if metrics_enabled():
+                    _count_rule_match(rule.action, rule.label)
                 if rule.action is Action.ALLOW:
                     return None
                 return rule.action

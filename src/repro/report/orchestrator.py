@@ -40,6 +40,12 @@ from ..obs.metrics import (
     shared_registry,
     snapshot_delta,
 )
+from ..obs.series import (
+    SeriesRegistry,
+    export_series,
+    shared_series,
+)
+from ..obs.series import snapshot_delta as series_delta
 from ..obs.trace import (
     adopt_current_span,
     set_tracing_enabled,
@@ -213,21 +219,29 @@ class RunReport:
         self,
         directory: Union[str, Path],
         registry: Optional[MetricsRegistry] = None,
+        series: Optional[SeriesRegistry] = None,
     ) -> Dict[str, Path]:
         """Write this run's telemetry artifacts into *directory*.
 
         Produces ``METRICS.json`` (the registry rendered via
-        :meth:`~repro.obs.metrics.MetricsRegistry.to_json`) and
+        :meth:`~repro.obs.metrics.MetricsRegistry.to_json`),
+        ``SERIES.json`` (the simulated-month time series), and
         ``TRACE.jsonl`` (this run's span records).  Returns the paths
         keyed by artifact name.
         """
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         metrics_path = directory / "METRICS.json"
+        series_path = directory / "SERIES.json"
         trace_path = directory / "TRACE.jsonl"
         export_metrics(metrics_path, registry)
+        export_series(series_path, series)
         write_trace(trace_path, self.spans)
-        return {"METRICS.json": metrics_path, "TRACE.jsonl": trace_path}
+        return {
+            "METRICS.json": metrics_path,
+            "SERIES.json": series_path,
+            "TRACE.jsonl": trace_path,
+        }
 
 
 # -- execution -----------------------------------------------------------------
@@ -238,10 +252,11 @@ class _RunContext:
     """Everything a worker needs; inherited by forked children.
 
     ``ship`` is True only in process mode: forked children must ship
-    their telemetry (a metrics snapshot delta plus the span records
-    they buffered) back to the parent, because their registry/tracer
-    are copies.  Thread and serial workers write straight into the
-    parent's shared instances, so shipping there would double-count.
+    their telemetry (metrics and series snapshot deltas plus the span
+    records they buffered) back to the parent, because their
+    registry/tracer are copies.  Thread and serial workers write
+    straight into the parent's shared instances, so shipping there
+    would double-count.
     """
 
     config: Optional[PopulationConfig]
@@ -255,10 +270,15 @@ class _RunContext:
 _WORKER_CONTEXT: Optional[_RunContext] = None
 
 #: One outcome from :func:`_execute_experiment`: key, span-derived
-#: seconds, result, shipped metrics delta (process mode only), shipped
-#: span records (process mode only).
+#: seconds, result, shipped metrics delta, shipped series delta, and
+#: shipped span records (the deltas/records are process mode only).
 _Outcome = Tuple[
-    str, float, ExperimentResult, Optional[Dict[str, object]], List[Dict[str, object]]
+    str,
+    float,
+    ExperimentResult,
+    Optional[Dict[str, object]],
+    Optional[Dict[str, object]],
+    List[Dict[str, object]],
 ]
 
 
@@ -268,8 +288,10 @@ def _execute_experiment(key: str) -> _Outcome:
     assert context is not None, "run_all must establish the context first"
     spec = _BY_KEY[key]
     registry = shared_registry()
+    series = shared_series()
     tracer = shared_tracer()
     before = registry.snapshot() if context.ship else None
+    series_before = series.snapshot() if context.ship else None
     mark = tracer.record_count() if context.ship else 0
     # Distinct span names per experiment keep root ids deterministic
     # even when parallel workers race on the occurrence counters.
@@ -286,9 +308,10 @@ def _execute_experiment(key: str) -> _Outcome:
             result = spec.run()
     seconds = getattr(exp_span, "duration_seconds", 0.0)
     if not context.ship:
-        return key, seconds, result, None, []
+        return key, seconds, result, None, None, []
     delta = snapshot_delta(registry.snapshot(), before)
-    return key, seconds, result, delta, tracer.records_since(mark)
+    sdelta = series_delta(series.snapshot(), series_before)
+    return key, seconds, result, delta, sdelta, tracer.records_since(mark)
 
 
 def _resolve_mode(mode: str, workers: int) -> str:
@@ -416,9 +439,11 @@ def run_all(
 
             # Fold process-mode workers' shipped telemetry into the
             # parent; serial/thread workers already wrote in place.
-            for _, _, _, delta, shipped_spans in outcomes:
+            for _, _, _, delta, sdelta, shipped_spans in outcomes:
                 if delta is not None:
                     registry.merge(delta)
+                if sdelta is not None:
+                    shared_series().merge(sdelta)
                 if shipped_spans:
                     tracer.absorb(shipped_spans)
     finally:
@@ -429,7 +454,7 @@ def run_all(
         mode=resolved,
         world_seconds=getattr(world_span, "duration_seconds", 0.0),
     )
-    for key, seconds, result, _, _ in outcomes:
+    for key, seconds, result, _, _, _ in outcomes:
         report.timings_seconds[key] = seconds
         report.results.append(result)
     report.total_seconds = getattr(total_span, "duration_seconds", 0.0)

@@ -36,6 +36,8 @@ from ..core.serialize import (
     add_disallow_group,
     remove_agent_rules,
 )
+from ..obs.metrics import metrics_enabled
+from ..obs.series import shared_series
 from .events import AGENT_ANNOUNCED, EU_AI_ACT, GPTBOT_ANNOUNCEMENT
 from .site import SimSite
 
@@ -204,6 +206,29 @@ class OperatorModel:
 
     def populate(self, site: SimSite) -> None:
         """Fill in *site*'s robots schedule and missing months."""
+        self._populate(site)
+        self._record_schedule(site)
+
+    def _record_schedule(self, site: SimSite) -> None:
+        """Feed the site's in-window robots changes to the series plane.
+
+        ``web.robots_changes{tier,category}`` counts, per simulated
+        month, how many sites changed their robots.txt that month --
+        the evolution-model side of the Figure 2 adoption story.
+        """
+        if not metrics_enabled():
+            return
+        registry = shared_series()
+        for month, _text in site.robots_schedule:
+            if month >= 0:
+                registry.add(
+                    "web.robots_changes",
+                    month,
+                    tier=site.tier,
+                    category=site.category,
+                )
+
+    def _populate(self, site: SimSite) -> None:
         params = self.params
         rng = self._rng(site)
 

@@ -108,6 +108,7 @@ class WebPopulation:
         across snapshots, runners, and world-store views -- reconstruct
         ``Website``/proxy objects only for states never served before.
         """
+        network.month = month
         network.register_many(
             (site.build_handler(month), site.domain)
             for site in (sites if sites is not None else self.stable)

@@ -231,6 +231,7 @@ class SimSite:
     def build_origin(self, month: int) -> Website:
         """The origin website as it stood at *month* (no proxies)."""
         site = Website(self.domain)
+        site.category = self.category
         site.add_page(
             "/",
             render_page(

@@ -114,6 +114,7 @@ def simulate_traffic(
     paths = site.paths() or ["/"]
     for day in range(days):
         network.now = float(day * 86_400)
+        network.month = day // 30
         for _ in range(mix.human_sessions):
             user_agent = rng.choice(_BROWSER_UAS)
             for _ in range(rng.randint(*mix.pages_per_session)):

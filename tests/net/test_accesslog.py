@@ -126,3 +126,69 @@ class TestClfRoundTrip:
         line = '1.2.3.4 - - [0] "GET / HTTP/1.1" 301 - "-" "bot"'
         parsed = parse_clf_line(line)
         assert parsed is not None and parsed.body_bytes == 0
+
+
+class TestAgentLabel:
+    def test_known_tokens_normalize(self):
+        from repro.net.accesslog import agent_label
+
+        assert agent_label("GPTBot/1.1") == "GPTBot"
+        assert agent_label("Mozilla/5.0 (compatible; ccbot/2.0)") == "CCBot"
+        assert agent_label("Bytespider") == "Bytespider"
+
+    def test_unknown_ua_is_other(self):
+        from repro.net.accesslog import agent_label
+
+        assert agent_label("Mozilla/5.0 (X11; Linux) Firefox/130.0") == "other"
+        assert agent_label("") == "other"
+
+
+class TestMonthlySummary:
+    def _log(self):
+        log = AccessLog()
+
+        def month_entry(path, ua, status, month):
+            record = entry(path, ua, status=status)
+            object.__setattr__(record, "month", month)
+            return record
+
+        log.append(month_entry("/robots.txt", "GPTBot/1.1", 200, 0))
+        log.append(month_entry("/page", "GPTBot/1.1", 200, 0))
+        log.append(month_entry("/page", "GPTBot/1.1", 403, 3))
+        log.append(month_entry("/page", "Bytespider", 200, 3))
+        log.append(month_entry("/page", "SomeBrowser", 200, 3))
+        return log
+
+    def test_rollup_buckets_by_agent_and_month(self):
+        summary = self._log().monthly_summary()
+        assert summary["GPTBot"][0] == {
+            "requests": 2, "robots_fetches": 1, "blocked": 0,
+        }
+        assert summary["GPTBot"][3] == {
+            "requests": 1, "robots_fetches": 0, "blocked": 1,
+        }
+        assert summary["Bytespider"][3]["requests"] == 1
+        assert summary["other"][3]["requests"] == 1
+
+    def test_months_ascending(self):
+        log = AccessLog()
+        for month in (24, 0, 12):
+            record = entry("/page")
+            object.__setattr__(record, "month", month)
+            log.append(record)
+        assert list(log.monthly_summary()["GPTBot"]) == [0, 12, 24]
+
+    def test_unclocked_entries_land_in_minus_one(self):
+        log = AccessLog()
+        log.append(entry("/page"))
+        assert list(log.monthly_summary()["GPTBot"]) == [-1]
+
+    def test_publish_feeds_monthly_series(self):
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.series import SeriesRegistry
+
+        series = SeriesRegistry()
+        self._log().publish(registry=MetricsRegistry(), series=series)
+        assert series.value_at("accesslog.requests", 0, agent="GPTBot") == 2
+        assert series.value_at("accesslog.requests", 3, agent="GPTBot") == 1
+        assert series.value_at("accesslog.requests", 3, agent="other") == 1

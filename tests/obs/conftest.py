@@ -1,0 +1,30 @@
+"""Shared fixtures for the telemetry unit tests.
+
+Every test in this package runs against pristine global telemetry
+state: the enable flags are restored and the process-wide registries
+(metrics, series, tracer) are reset both before and after each test,
+so no test can leak counters, series points, or buffered spans into a
+neighbor -- regardless of execution order.
+"""
+
+import pytest
+
+from repro.obs.metrics import set_metrics_enabled, shared_registry
+from repro.obs.series import shared_series
+from repro.obs.trace import set_tracing_enabled, shared_tracer
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry_state():
+    """Reset flags and the shared registries around every test."""
+    set_metrics_enabled(True)
+    set_tracing_enabled(False)
+    shared_registry().reset()
+    shared_series().reset()
+    shared_tracer().reset()
+    yield
+    set_metrics_enabled(True)
+    set_tracing_enabled(False)
+    shared_registry().reset()
+    shared_series().reset()
+    shared_tracer().reset()

@@ -218,3 +218,34 @@ class TestExport:
         export_metrics(path, registry)
         payload = json.loads(path.read_text())
         assert payload["counters"] == {"n": 1}
+
+
+class TestMetricsDisabledContext:
+    def test_silences_and_restores(self):
+        from repro.obs.metrics import metrics_disabled
+
+        registry = MetricsRegistry()
+        with metrics_disabled():
+            assert not metrics_enabled()
+            registry.inc("n")
+        assert metrics_enabled()
+        assert registry.counter_value("n") == 0
+        registry.inc("n")
+        assert registry.counter_value("n") == 1
+
+    def test_nests_and_restores_prior_state(self):
+        from repro.obs.metrics import metrics_disabled
+
+        set_metrics_enabled(False)
+        with metrics_disabled():
+            assert not metrics_enabled()
+        assert not metrics_enabled()  # restores False, not True
+        set_metrics_enabled(True)
+
+    def test_restores_on_exception(self):
+        from repro.obs.metrics import metrics_disabled
+
+        with pytest.raises(RuntimeError):
+            with metrics_disabled():
+                raise RuntimeError("boom")
+        assert metrics_enabled()

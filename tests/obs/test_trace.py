@@ -155,3 +155,39 @@ class TestWriteTrace:
         write_trace(path, records)
         lines = path.read_text().strip().splitlines()
         assert [json.loads(line)["name"] for line in lines] == ["b", "a"]
+
+
+class TestTracingEnabledContext:
+    def test_forces_on_and_restores(self):
+        assert not tracing_enabled()
+        with tracing_enabled():
+            assert tracing_enabled()
+            with span("inside"):
+                pass
+        assert not tracing_enabled()
+        assert shared_tracer().record_count() == 1
+
+    def test_restores_prior_true_state(self):
+        set_tracing_enabled(True)
+        with tracing_enabled():
+            assert tracing_enabled()
+        assert tracing_enabled()
+        set_tracing_enabled(False)
+
+    def test_snapshot_semantics_as_predicate(self):
+        was = tracing_enabled()
+        set_tracing_enabled(True)
+        # The handle captured the flag at call time...
+        assert not was
+        # ...and compares equal to plain bools, both ways.
+        assert was == False  # noqa: E712 -- the comparison IS the test
+        assert tracing_enabled() == True  # noqa: E712
+        set_tracing_enabled(False)
+
+    def test_restores_on_exception(self):
+        import pytest
+
+        with pytest.raises(RuntimeError):
+            with tracing_enabled():
+                raise RuntimeError("boom")
+        assert not tracing_enabled()

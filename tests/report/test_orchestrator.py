@@ -12,6 +12,7 @@ import pytest
 
 from repro.cli import EXPERIMENT_IDS
 from repro.obs.metrics import shared_registry
+from repro.obs.series import shared_series
 from repro.obs.trace import shared_tracer, tracing_enabled
 from repro.report.orchestrator import (
     EXPERIMENT_REGISTRY,
@@ -114,8 +115,9 @@ class TestTelemetry:
     #: (population view).
     TELEMETRY_SLICE = ["table1", "figure2", "sec62"]
 
-    def _run_and_snapshot(self, store, mode, workers):
+    def _run_and_snapshot(self, store, mode, workers, telemetry_dir=None):
         shared_registry().reset()
+        shared_series().reset()
         shared_tracer().reset()
         report = run_all(
             SMALL,
@@ -123,6 +125,7 @@ class TestTelemetry:
             experiments=self.TELEMETRY_SLICE,
             store=store,
             mode=mode,
+            telemetry_dir=telemetry_dir,
         )
         snap = shared_registry().snapshot()
         histograms = {
@@ -153,6 +156,32 @@ class TestTelemetry:
         assert process_counters == serial_counters
         assert thread_hists == serial_hists
         assert process_hists == serial_hists
+
+    @pytest.mark.skipif(
+        "fork" not in multiprocessing.get_all_start_methods(),
+        reason="fork start method unavailable",
+    )
+    def test_series_json_byte_identical_across_modes(self, store, tmp_path):
+        # The operator-facing SERIES.json must be byte-for-byte the
+        # same artifact whatever the scheduling mode or worker count:
+        # series amounts are integer event counts, so per-month sums
+        # are exact under any merge order.
+        run_all(SMALL, workers=1, experiments=["figure2", "sec62"], store=store)
+        exports = {}
+        for label, mode, workers in [
+            ("serial", "auto", 1),
+            ("thread2", "thread", 2),
+            ("thread3", "thread", 3),
+            ("process3", "process", 3),
+        ]:
+            directory = tmp_path / label
+            self._run_and_snapshot(store, mode, workers, telemetry_dir=directory)
+            exports[label] = (directory / "SERIES.json").read_bytes()
+        assert exports["serial"]
+        baseline = exports.pop("serial")
+        assert json.loads(baseline)["series"]  # non-trivial content
+        for label, payload in exports.items():
+            assert payload == baseline, f"SERIES.json diverged in {label} mode"
 
     def test_run_produces_span_tree(self, store):
         report = run_all(
@@ -188,8 +217,12 @@ class TestTelemetry:
             telemetry_dir=tmp_path,
         )
         metrics_path = tmp_path / "METRICS.json"
+        series_path = tmp_path / "SERIES.json"
         trace_path = tmp_path / "TRACE.jsonl"
         assert metrics_path.exists() and trace_path.exists()
+        assert series_path.exists()
+        series_payload = json.loads(series_path.read_text())
+        assert series_payload["schema_version"] == 1
         payload = json.loads(metrics_path.read_text())
         assert payload["schema_version"] == 1
         assert any(key.startswith("worldstore.") for key in payload["counters"])

@@ -150,3 +150,145 @@ class TestModuleEntryPoint:
         )
         assert proc.returncode == 1  # disallowed
         assert "DISALLOWED" in proc.stdout
+
+
+class TestStats:
+    """The telemetry analysis command: tables, analyses, and the CI gate."""
+
+    @pytest.fixture()
+    def telemetry_dir(self, tmp_path):
+        from tests.obs.test_analyze import write_telemetry
+
+        return write_telemetry(tmp_path / "base")
+
+    def test_metrics_tables_from_directory(self, telemetry_dir, capsys):
+        assert main(["stats", str(telemetry_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "counters" in out and "crawl.fetches{agent=GPTBot}" in out
+
+    def test_missing_metrics_is_one_line_error(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path)]) == 2
+        err = capsys.readouterr().err
+        assert "missing telemetry artifact" in err
+        assert "Traceback" not in err
+        assert err.count("\n") == 1
+
+    def test_corrupt_metrics_is_one_line_error(self, tmp_path, capsys):
+        (tmp_path / "METRICS.json").write_text("{broken")
+        assert main(["stats", str(tmp_path)]) == 2
+        err = capsys.readouterr().err
+        assert "corrupt METRICS.json" in err and "Traceback" not in err
+
+    def test_missing_trace_is_one_line_error(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path), "--critical-path"]) == 2
+        err = capsys.readouterr().err
+        assert "missing telemetry artifact" in err and "TRACE" in err
+
+    def test_corrupt_trace_is_one_line_error(self, telemetry_dir, capsys):
+        (telemetry_dir / "TRACE.jsonl").write_text("garbage\n")
+        assert main(["stats", str(telemetry_dir), "--critical-path"]) == 2
+        assert "corrupt TRACE.jsonl" in capsys.readouterr().err
+
+    def test_missing_series_fails_diff(self, telemetry_dir, tmp_path, capsys):
+        from tests.obs.test_analyze import write_telemetry
+
+        other = write_telemetry(tmp_path / "other")
+        (other / "SERIES.json").unlink()
+        assert main(["stats", "--diff", str(telemetry_dir), str(other)]) == 2
+        assert "missing telemetry artifact" in capsys.readouterr().err
+
+    def test_corrupt_series_fails_dashboard(self, telemetry_dir, capsys):
+        (telemetry_dir / "SERIES.json").write_text("[1, 2")
+        assert main(["dashboard", str(telemetry_dir)]) == 2
+        err = capsys.readouterr().err
+        assert "corrupt SERIES.json" in err and "Traceback" not in err
+
+    def test_critical_path_names_slowest_chain(self, telemetry_dir, capsys):
+        assert main(["stats", str(telemetry_dir), "--critical-path"]) == 0
+        out = capsys.readouterr().out
+        assert "experiment:figure2" in out
+        assert "classify_sweep" in out
+        assert "experiment:sec62" not in out  # the faster sibling
+
+    def test_folded_stacks_written(self, telemetry_dir, tmp_path, capsys):
+        folded = tmp_path / "stacks.folded"
+        assert main(["stats", str(telemetry_dir), "--folded", str(folded)]) == 0
+        lines = folded.read_text().splitlines()
+        assert "run_all;experiment:figure2;classify_sweep 900000" in lines
+
+    def test_diff_identical_dirs_exits_zero(self, telemetry_dir, capsys):
+        code = main(["stats", "--diff", str(telemetry_dir), str(telemetry_dir)])
+        assert code == 0
+        assert "RESULT: OK" in capsys.readouterr().out
+
+    def test_diff_detects_injected_slowdown(self, telemetry_dir, tmp_path, capsys):
+        # The CI-gate scenario: copy a telemetry dir, synthetically slow
+        # one experiment span, and demand a non-zero exit.
+        import json
+        import shutil
+
+        candidate = tmp_path / "candidate"
+        shutil.copytree(telemetry_dir, candidate)
+        records = [
+            json.loads(line)
+            for line in (candidate / "TRACE.jsonl").read_text().splitlines()
+        ]
+        for record in records:
+            if record["name"] == "experiment:figure2":
+                record["duration_seconds"] *= 3
+        (candidate / "TRACE.jsonl").write_text(
+            "".join(json.dumps(r) + "\n" for r in records)
+        )
+        assert main(["stats", "--diff", str(telemetry_dir), str(candidate)]) == 1
+        out = capsys.readouterr().out
+        assert "experiment:figure2" in out and "REGRESSED" in out
+
+    def test_diff_detects_injected_metric_change(self, telemetry_dir, tmp_path, capsys):
+        import json
+        import shutil
+
+        candidate = tmp_path / "candidate"
+        shutil.copytree(telemetry_dir, candidate)
+        payload = json.loads((candidate / "METRICS.json").read_text())
+        payload["counters"]["crawl.fetches{agent=GPTBot}"] *= 2
+        (candidate / "METRICS.json").write_text(json.dumps(payload))
+        assert main(["stats", "--diff", str(telemetry_dir), str(candidate)]) == 1
+        assert "metric drift" in capsys.readouterr().out
+
+    def test_diff_threshold_flag(self, telemetry_dir, tmp_path):
+        import json
+        import shutil
+
+        candidate = tmp_path / "candidate"
+        shutil.copytree(telemetry_dir, candidate)
+        payload = json.loads((candidate / "METRICS.json").read_text())
+        payload["counters"]["crawl.fetches{agent=GPTBot}"] = 110  # +10%
+        (candidate / "METRICS.json").write_text(json.dumps(payload))
+        args = ["stats", "--diff", str(telemetry_dir), str(candidate)]
+        assert main(args) == 0  # default 25% tolerates it
+        assert main(args + ["--threshold", "0.05"]) == 1
+
+
+class TestDashboard:
+    def test_agent_month_matrix(self, tmp_path, capsys):
+        from tests.obs.test_analyze import write_telemetry
+
+        telemetry = write_telemetry(tmp_path / "t")
+        assert main(["dashboard", str(telemetry)]) == 0
+        out = capsys.readouterr().out
+        assert "GPTBot" in out and "CCBot" in out
+        assert "2022-10" in out  # month 0 rendered on the paper clock
+        assert "25/5/0" in out  # GPTBot month 1: 25 requests, 5 blocked
+
+    def test_category_filter(self, tmp_path, capsys):
+        from tests.obs.test_analyze import write_telemetry
+
+        telemetry = write_telemetry(tmp_path / "t")
+        assert main(["dashboard", str(telemetry), "--category", "blog"]) == 0
+        out = capsys.readouterr().out
+        assert "CCBot" in out and "GPTBot" not in out
+
+    def test_missing_series_is_one_line_error(self, tmp_path, capsys):
+        assert main(["dashboard", str(tmp_path)]) == 2
+        err = capsys.readouterr().err
+        assert "missing telemetry artifact" in err and "Traceback" not in err
