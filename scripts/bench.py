@@ -30,10 +30,15 @@ import sys
 REPO = pathlib.Path(__file__).resolve().parent.parent
 RESULTS = REPO / "benchmarks" / "output" / "BENCH_RESULTS.json"
 OBS_OVERHEAD = REPO / "benchmarks" / "output" / "OBS_OVERHEAD.json"
+CHAOS_OVERHEAD = REPO / "benchmarks" / "output" / "CHAOS_OVERHEAD.json"
 
 #: Telemetry's disabled fast path may imply at most this much slowdown
 #: on the Figure 2 pipeline (percent; see bench_obs_overhead.py).
 OBS_OVERHEAD_BUDGET_PCT = 1.0
+
+#: An armed transient fault plan may imply at most this much slowdown
+#: on the snapshot pipeline (percent; see bench_chaos_overhead.py).
+CHAOS_OVERHEAD_BUDGET_PCT = 1.0
 
 #: History entries folded into the rolling-median baseline.
 BASELINE_WINDOW = 5
@@ -146,7 +151,9 @@ def main() -> int:
         print(f"  {nodeid:<{width}}  {now:8.3f}s  "
               f"(baseline {prev:.3f}s, {delta:+.0%}){flag}")
 
-    overhead_ok = _check_obs_overhead()
+    obs_ok = _check_obs_overhead()
+    chaos_ok = _check_chaos_overhead()
+    overhead_ok = obs_ok and chaos_ok
 
     if regressions:
         print(f"\n{len(regressions)} bench(es) regressed more than "
@@ -175,6 +182,27 @@ def _check_obs_overhead() -> bool:
     print(f"\n== telemetry overhead ==\n  implied disabled-path cost on "
           f"figure2: {implied:.3f}% (budget {OBS_OVERHEAD_BUDGET_PCT:.1f}%)")
     if implied > OBS_OVERHEAD_BUDGET_PCT:
+        print("  <-- OVER BUDGET")
+        return False
+    return True
+
+
+def _check_chaos_overhead() -> bool:
+    """Gate the chaos steady-state budget from CHAOS_OVERHEAD.json."""
+    if not CHAOS_OVERHEAD.exists():
+        return True  # bench deselected this run; nothing to check
+    try:
+        payload = json.loads(CHAOS_OVERHEAD.read_text())
+    except (ValueError, OSError):
+        print(f"warning: unreadable {CHAOS_OVERHEAD}")
+        return True
+    implied = payload.get("implied_overhead_pct")
+    if implied is None:
+        return True
+    print(f"\n== chaos overhead ==\n  implied armed-plan cost on the "
+          f"snapshot pipeline: {implied:.3f}% "
+          f"(budget {CHAOS_OVERHEAD_BUDGET_PCT:.1f}%)")
+    if implied > CHAOS_OVERHEAD_BUDGET_PCT:
         print("  <-- OVER BUDGET")
         return False
     return True

@@ -10,6 +10,7 @@ Installed as the ``repro`` console script::
     repro agents                                # the Table 1 registry
     repro experiment figure2 [--fast]           # run a paper experiment
     repro reproduce --workers 4 [--fast]        # run the whole battery
+    repro chaos --plan flaky-resets --seed 0    # fault-inject, assert no drift
     repro stats results --critical-path         # where did the time go?
     repro stats --diff base/ candidate/         # CI regression gate
     repro dashboard results --category news     # agent x month operator view
@@ -94,6 +95,30 @@ def build_parser() -> argparse.ArgumentParser:
     reproduce.add_argument("--telemetry-dir", metavar="DIR", default=None,
                            help="also write METRICS.json, SERIES.json and "
                                 "TRACE.jsonl into DIR")
+
+    chaos_cmd = sub.add_parser(
+        "chaos",
+        help="run experiments under a fault plan; assert byte-identical results",
+    )
+    chaos_cmd.add_argument("--plan", default="flaky-resets",
+                           help="named fault plan (default: flaky-resets; "
+                                "see repro.net.chaos.NAMED_PLANS)")
+    chaos_cmd.add_argument("--seed", type=int, default=0,
+                           help="seed for the plan's per-host fault sampling")
+    chaos_cmd.add_argument("--experiments", nargs="*", metavar="ID",
+                           choices=EXPERIMENT_IDS,
+                           default=["figure2", "sec62"],
+                           help="experiments to compare under faults "
+                                "(default: figure2 sec62)")
+    chaos_cmd.add_argument("--fast", action="store_true",
+                           help="use a small population for a quick run")
+    chaos_cmd.add_argument("--no-retries", action="store_true",
+                           help="disable all retry/confirmation hardening: "
+                                "shows what the fault plan does to an "
+                                "unprotected pipeline (expect drift)")
+    chaos_cmd.add_argument("--results-dir", metavar="DIR", default=None,
+                           help="also write baseline/ and chaos/ result "
+                                "texts into DIR for inspection")
 
     stats = sub.add_parser(
         "stats",
@@ -262,6 +287,99 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
               f"{args.telemetry_dir}/SERIES.json, "
               f"{args.telemetry_dir}/TRACE.jsonl "
               f"({len(report.spans)} spans)")
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Graceful degradation as a testable invariant.
+
+    Runs the requested experiments twice over fresh (uncached) worlds --
+    once fault-free, once under the named fault plan -- and compares the
+    result texts byte for byte.  With the retry/confirmation hardening
+    active, a healable plan must produce zero drift (exit 0); with
+    ``--no-retries`` the same faults are expected to leak into the
+    results (exit 1), which is the point of the demonstration.
+    """
+    from contextlib import nullcontext
+    from pathlib import Path
+
+    from .net.chaos import plan, plan_names, retries_disabled
+    from .obs.metrics import shared_registry
+    from .report.orchestrator import run_all
+    from .web.worldstore import WorldStore
+
+    try:
+        fault_plan = plan(args.plan)
+    except KeyError:
+        print(f"repro chaos: unknown plan {args.plan!r}; "
+              f"known plans: {', '.join(plan_names())}", file=sys.stderr)
+        return 2
+
+    config = _fast_config() if args.fast else None
+    keys = args.experiments
+
+    # Fresh stores on both sides: the content-addressed world cache must
+    # never hand a fault-free world to the chaos run or vice versa.
+    print(f"baseline run ({len(keys)} experiment(s), fault-free)...")
+    baseline = run_all(config, experiments=keys, store=WorldStore())
+
+    registry = shared_registry()
+    before_errors = registry.counter_totals("net.errors")
+    hardening = retries_disabled() if args.no_retries else nullcontext()
+    print(f"chaos run (plan={fault_plan.name!r}, seed={args.seed}, "
+          f"retries {'DISABLED' if args.no_retries else 'enabled'})...")
+    with hardening:
+        chaotic = run_all(
+            config,
+            experiments=keys,
+            store=WorldStore(),
+            fault_plan=fault_plan,
+            chaos_seed=args.seed,
+        )
+
+    faults = registry.counter_totals("chaos.faults")
+    after_errors = registry.counter_totals("net.errors")
+    print("\nfaults injected:")
+    for key, value in faults.items():
+        if value:
+            print(f"  {key} = {value}")
+    if not any(faults.values()):
+        print("  (none -- plan matched no hosts at this scale/seed)")
+    error_delta = {
+        key: after_errors.get(key, 0) - before_errors.get(key, 0)
+        for key in after_errors
+        if after_errors.get(key, 0) != before_errors.get(key, 0)
+    }
+    if error_delta:
+        print("transport errors during chaos run:")
+        for key, value in sorted(error_delta.items()):
+            print(f"  {key} = +{value}")
+
+    if args.results_dir:
+        for label, report in (("baseline", baseline), ("chaos", chaotic)):
+            directory = Path(args.results_dir) / label
+            directory.mkdir(parents=True, exist_ok=True)
+            for result in report.results:
+                (directory / f"{result.experiment_id}.txt").write_text(
+                    result.text + "\n"
+                )
+        print(f"result texts written under {args.results_dir}/")
+
+    drifted = []
+    for base_result, chaos_result in zip(baseline.results, chaotic.results):
+        identical = base_result.text == chaos_result.text
+        status = "identical" if identical else "DRIFTED"
+        print(f"  {base_result.experiment_id:12s} {status}")
+        if not identical:
+            drifted.append(base_result.experiment_id)
+
+    if drifted:
+        print(f"\nRESULT: DRIFT in {', '.join(drifted)} "
+              f"under plan {fault_plan.name!r}"
+              + (" (expected: retries disabled)" if args.no_retries else ""))
+        return 1
+    print(f"\nRESULT: OK -- results byte-identical under plan "
+          f"{fault_plan.name!r} (seed {args.seed})")
     return 0
 
 
@@ -442,6 +560,7 @@ _HANDLERS = {
     "agents": _cmd_agents,
     "experiment": _cmd_experiment,
     "reproduce": _cmd_reproduce,
+    "chaos": _cmd_chaos,
     "stats": _cmd_stats,
     "dashboard": _cmd_dashboard,
     "serve": _cmd_serve,

@@ -17,11 +17,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional
 
+from ..net import chaos
 from ..net.errors import NetError
 from ..net.http import Headers, Request
 from ..net.transport import Network
 
-__all__ = ["SnapshotSpec", "SiteRecord", "Snapshot", "SnapshotCrawler", "SNAPSHOT_SPECS"]
+__all__ = [
+    "SnapshotSpec",
+    "SiteRecord",
+    "Snapshot",
+    "SnapshotCrawler",
+    "ErrorBudget",
+    "SNAPSHOT_SPECS",
+]
 
 #: CCBot's real user agent string.
 CCBOT_UA = "CCBot/2.0 (https://commoncrawl.org/faq/)"
@@ -108,12 +116,49 @@ class SiteRecord:
         return self.status == 404
 
 
+@dataclass(frozen=True)
+class ErrorBudget:
+    """Per-snapshot accounting of transport errors and their healing.
+
+    The paper's analysis keeps only sites with a usable record in every
+    snapshot, so every unhealed error silently shrinks the analysis
+    set.  This summary makes that loss visible and auditable.
+
+    Attributes:
+        n_sites: Sites crawled in the snapshot.
+        n_errored_first_pass: Sites whose initial visit(s) all errored.
+        n_healed: Of those, sites recovered by the bounded retry passes.
+        n_errored_final: Sites still errored after every retry pass.
+        retry_passes: Retry passes actually executed (0 when the first
+            pass was clean or retries are disabled).
+        errors_by_kind: Final error text -> count of sites stuck on it.
+    """
+
+    n_sites: int = 0
+    n_errored_first_pass: int = 0
+    n_healed: int = 0
+    n_errored_final: int = 0
+    retry_passes: int = 0
+    errors_by_kind: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def heal_rate(self) -> float:
+        """Fraction of first-pass errors the retry passes recovered."""
+        if self.n_errored_first_pass == 0:
+            return 1.0
+        return self.n_healed / self.n_errored_first_pass
+
+
 @dataclass
 class Snapshot:
     """One snapshot's records for all crawled sites."""
 
     spec: SnapshotSpec
     records: Dict[str, SiteRecord] = field(default_factory=dict)
+    #: Error accounting for the crawl that built this snapshot (None for
+    #: snapshots assembled by hand); excluded from equality so healed
+    #: snapshots compare equal to fault-free ones.
+    error_budget: Optional[ErrorBudget] = field(default=None, compare=False)
     #: Lazily-built O(1) index of www-variant-resolved records, so the
     #: analysis layer's per-figure per-domain lookups stop probing
     #: variant keys on every call.  Rebuilt whenever ``records`` grows
@@ -183,11 +228,25 @@ class SnapshotCrawler:
     The crawler identifies as CCBot, makes *visits_per_site* requests
     per site, keeps the most recent non-errored response (the paper's
     dedup rule), and never follows redirects.
+
+    After the first pass, up to *retry_errored* additional passes
+    re-visit only the sites whose every visit errored -- transient
+    transport failures (the bulk of CC's per-site errors, Appendix B.1)
+    heal instead of knocking sites out of the longitudinal analysis
+    set.  The passes cost nothing on a clean crawl and are disabled
+    globally by :func:`repro.net.chaos.retries_disabled`.
     """
 
-    def __init__(self, network: Network, visits_per_site: int = 1):
+    def __init__(
+        self,
+        network: Network,
+        visits_per_site: int = 1,
+        retry_errored: int = 2,
+    ):
         self.network = network
         self.visits_per_site = visits_per_site
+        #: Bounded retry passes over errored sites per snapshot.
+        self.retry_errored = retry_errored
 
     def _fetch_once(self, domain: str) -> SiteRecord:
         request = Request(
@@ -213,15 +272,53 @@ class SnapshotCrawler:
                 best = record
                 continue
             # Most recent non-errored crawl wins; an errored crawl never
-            # displaces an earlier successful one.
-            if record.status != 0 and record.error is None:
+            # displaces an earlier successful one.  When *every* visit
+            # errors, the latest error stands in -- the paper's dedup
+            # rule ("most recent") applied to the failure modes too.
+            if record.error is None or best.error is not None:
                 best = record
         assert best is not None
         return best
 
     def snapshot(self, spec: SnapshotSpec, domains: Iterable[str]) -> Snapshot:
-        """Crawl *domains* and assemble a :class:`Snapshot`."""
+        """Crawl *domains*, heal transient errors, assemble a snapshot.
+
+        Builds the first pass like before, then (retries enabled) makes
+        up to ``retry_errored`` passes over the still-errored sites and
+        attaches an :class:`ErrorBudget` describing the outcome.
+        """
         snap = Snapshot(spec=spec)
         for domain in domains:
             snap.records[domain] = self.crawl_site(domain)
+        errored = [d for d, r in snap.records.items() if r.error is not None]
+        n_first = len(errored)
+        passes = 0
+        if errored and self.retry_errored > 0 and chaos.retries_enabled():
+            for _ in range(self.retry_errored):
+                if not errored:
+                    break
+                passes += 1
+                still: List[str] = []
+                for domain in errored:
+                    # The retry outcome replaces the errored record either
+                    # way: healed, or the latest failure mode (the same
+                    # most-recent rule dedup applies within a pass).
+                    record = self._fetch_once(domain)
+                    snap.records[domain] = record
+                    if record.error is not None:
+                        still.append(domain)
+                errored = still
+            snap.invalidate_index()
+        by_kind: Dict[str, int] = {}
+        for domain in errored:
+            error = snap.records[domain].error or "unknown"
+            by_kind[error] = by_kind.get(error, 0) + 1
+        snap.error_budget = ErrorBudget(
+            n_sites=len(snap.records),
+            n_errored_first_pass=n_first,
+            n_healed=n_first - len(errored),
+            n_errored_final=len(errored),
+            retry_passes=passes,
+            errors_by_kind=by_kind,
+        )
         return snap

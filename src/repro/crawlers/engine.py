@@ -73,8 +73,13 @@ class CrawlResult:
 
     @property
     def content_fetches(self) -> List[str]:
-        """Paths of non-robots fetches."""
-        return [path for path, _ in self.fetched if not path.startswith("/robots.txt")]
+        """Paths of non-robots fetches.
+
+        Only the exact ``/robots.txt`` path is the policy file; lookalike
+        paths (``/robots.txt.bak``, ``/robots.txt2``) are ordinary
+        content a crawler fetched and must stay in this list.
+        """
+        return [path for path, _ in self.fetched if path != "/robots.txt"]
 
 
 @dataclass
@@ -122,6 +127,9 @@ class Crawler:
         )
         self._denied_series = series.series(
             "crawl.requests", agent=agent, outcome="robots_disallowed"
+        )
+        self._error_series = series.series(
+            "crawl.requests", agent=agent, outcome="error"
         )
 
     # -- plumbing -------------------------------------------------------------
@@ -266,12 +274,17 @@ class Crawler:
             result.skipped.append(path)
             return result
         try:
-            self._fetches_counter.inc()
-            self._fetched_series.add(self.network.month)
             response = self._request(host, path)
-            result.fetched.append((path, response.status))
         except NetError as exc:
             result.errors.append(str(exc))
+            self._error_series.add(self.network.month)
+            return result
+        # Booked only once a response exists: an errored attempt is not
+        # a fetch, or crawler-side totals drift from the server-side
+        # ``sim.requests`` series they must reconcile against.
+        self._fetches_counter.inc()
+        self._fetched_series.add(self.network.month)
+        result.fetched.append((path, response.status))
         return result
 
     def crawl(
@@ -326,12 +339,13 @@ class Crawler:
             ):
                 break
             try:
-                self._fetches_counter.inc()
-                self._fetched_series.add(self.network.month)
                 response = self._request(host, path)
             except NetError as exc:
                 result.errors.append(str(exc))
+                self._error_series.add(self.network.month)
                 continue
+            self._fetches_counter.inc()
+            self._fetched_series.add(self.network.month)
             if fetched_pages > 0:
                 result.time_spent += interval
             result.fetched.append((path, response.status))

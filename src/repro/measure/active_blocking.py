@@ -13,6 +13,16 @@ The detector follows the paper's user-agent-differential methodology:
    transport exception appears, or the content length changes
    significantly between control and AI crawls (block-page detection
    following Jones et al.).
+
+A single transient connection reset is indistinguishable from a
+deliberate drop in one observation, so the decision step confirms
+before it accuses: a probe outcome that *would* flip the verdict is
+re-probed per :class:`ConfirmationPolicy` (bounded attempts, fixed
+spacing charged to simulated time).  Only a *repeatable* differential
+yields ``blocks_ai=True`` -- transient faults (exercised by
+``repro.net.chaos`` campaigns) produce zero false positives.  The
+policy used is recorded on every verdict so downstream tables can
+state the confirmation standard their numbers were held to.
 """
 
 from __future__ import annotations
@@ -21,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..agents.useragent import DEFAULT_BROWSER_UA
+from ..net import chaos
 from ..net.errors import NetError
 from ..net.http import Headers, Request, Response
 from ..net.transport import Network
@@ -29,6 +40,9 @@ from ..proxy.fingerprint import AUTOMATION_HEADER
 __all__ = [
     "ProbeResult",
     "SiteBlockingVerdict",
+    "ConfirmationPolicy",
+    "DEFAULT_CONFIRMATION",
+    "NO_CONFIRMATION",
     "probe",
     "detect_active_blocking",
     "survey_active_blocking",
@@ -40,6 +54,29 @@ AI_PROBE_UAS = ("Claudebot/1.0", "anthropic-ai")
 
 #: Relative content-length difference treated as "significant".
 LENGTH_DELTA_THRESHOLD = 0.30
+
+
+@dataclass(frozen=True)
+class ConfirmationPolicy:
+    """How a verdict-flipping probe outcome must be confirmed.
+
+    Attributes:
+        attempts: Maximum confirmation re-probes for one suspicious
+            outcome (0 = accept the first observation unconfirmed).
+        spacing_seconds: Simulated seconds between re-probes, charged
+            to ``network.now`` -- real tooling spaces retries so a
+            momentarily-overloaded origin is not re-hit instantly.
+    """
+
+    attempts: int = 2
+    spacing_seconds: float = 5.0
+
+
+#: The default standard: up to two spaced re-probes.
+DEFAULT_CONFIRMATION = ConfirmationPolicy()
+
+#: Single-observation mode (the pre-confirmation behavior).
+NO_CONFIRMATION = ConfirmationPolicy(attempts=0, spacing_seconds=0.0)
 
 
 @dataclass(frozen=True)
@@ -92,11 +129,15 @@ class SiteBlockingVerdict:
 
     Attributes:
         host: The site probed.
-        control: Control-case probe result.
-        ai_probes: Results for each AI UA probed.
+        control: Control-case probe result (the final observation when
+            transport failures were retried).
+        ai_probes: Final results for each AI UA probed.
         excluded: The control case failed (site blocks the tool), so no
             inference is made.
         blocks_ai: Whether the site actively blocks based on AI UAs.
+        confirmation: The policy suspicious outcomes were held to.
+        probe_attempts: Probes actually issued per case (``"control"``
+            plus one entry per AI UA); >1 means confirmation fired.
     """
 
     host: str
@@ -104,6 +145,8 @@ class SiteBlockingVerdict:
     ai_probes: Dict[str, ProbeResult] = field(default_factory=dict)
     excluded: bool = False
     blocks_ai: bool = False
+    confirmation: ConfirmationPolicy = NO_CONFIRMATION
+    probe_attempts: Dict[str, int] = field(default_factory=dict)
 
 
 def _differs(control: ProbeResult, ai: ProbeResult) -> bool:
@@ -121,16 +164,50 @@ def detect_active_blocking(
     network: Network,
     host: str,
     ai_user_agents: Sequence[str] = AI_PROBE_UAS,
+    confirmation: Optional[ConfirmationPolicy] = None,
 ) -> SiteBlockingVerdict:
-    """Run the control/AI differential against one site."""
+    """Run the control/AI differential against one site.
+
+    *confirmation* defaults to :data:`DEFAULT_CONFIRMATION` (or
+    :data:`NO_CONFIRMATION` while retries are globally disabled via
+    :func:`repro.net.chaos.retries_disabled`).  Suspicious outcomes are
+    re-probed before they can flip the verdict:
+
+    * A control probe that fails at the *transport* level is retried --
+      a transient reset must not exclude the site.  A non-200 HTTP
+      response is accepted at face value (the server answered;
+      tool-blocking is deliberate).
+    * An AI probe that differs from the control is re-probed.  If any
+      re-probe agrees with the control, the differential was transient
+      and the site is not accused; only a differential that persists
+      through every attempt sets ``blocks_ai``.
+    """
+    if confirmation is None:
+        confirmation = (
+            DEFAULT_CONFIRMATION if chaos.retries_enabled() else NO_CONFIRMATION
+        )
     control = probe(network, host, DEFAULT_BROWSER_UA)
-    verdict = SiteBlockingVerdict(host=host, control=control)
+    attempts = 1
+    while control.failed and attempts <= confirmation.attempts:
+        network.now += confirmation.spacing_seconds
+        control = probe(network, host, DEFAULT_BROWSER_UA)
+        attempts += 1
+    verdict = SiteBlockingVerdict(
+        host=host, control=control, confirmation=confirmation
+    )
+    verdict.probe_attempts["control"] = attempts
     if control.failed or control.status != 200:
         verdict.excluded = True
         return verdict
     for user_agent in ai_user_agents:
         result = probe(network, host, user_agent)
+        attempts = 1
+        while _differs(control, result) and attempts <= confirmation.attempts:
+            network.now += confirmation.spacing_seconds
+            result = probe(network, host, user_agent)
+            attempts += 1
         verdict.ai_probes[user_agent] = result
+        verdict.probe_attempts[user_agent] = attempts
         if _differs(control, result):
             verdict.blocks_ai = True
     return verdict
@@ -171,9 +248,14 @@ def survey_active_blocking(
     network: Network,
     hosts: Sequence[str],
     ai_user_agents: Sequence[str] = AI_PROBE_UAS,
+    confirmation: Optional[ConfirmationPolicy] = None,
 ) -> BlockingSurvey:
     """Run the detector over *hosts* and aggregate."""
     survey = BlockingSurvey()
     for host in hosts:
-        survey.verdicts.append(detect_active_blocking(network, host, ai_user_agents))
+        survey.verdicts.append(
+            detect_active_blocking(
+                network, host, ai_user_agents, confirmation=confirmation
+            )
+        )
     return survey

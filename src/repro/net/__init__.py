@@ -8,6 +8,7 @@ The substrate has two interchangeable transports:
 """
 
 from .accesslog import AccessLog, LogEntry, format_clf, parse_clf_line
+from .chaos import ChaosController, FaultPlan, FaultRule
 from .client import HttpClient
 from .dns import DnsZone, ProviderInfra, Resolution
 from .errors import (
@@ -30,6 +31,9 @@ __all__ = [
     "LogEntry",
     "format_clf",
     "parse_clf_line",
+    "ChaosController",
+    "FaultPlan",
+    "FaultRule",
     "HttpClient",
     "DnsZone",
     "ProviderInfra",

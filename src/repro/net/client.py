@@ -6,12 +6,22 @@ optionally follows redirects, and returns the final
 :class:`~repro.net.http.Response`.  Behavioral knobs mirror the clients
 the paper describes -- Common Crawl's snapshotter does *not* follow
 redirects (Appendix B.1), while the Selenium-style control client does.
+
+Transient-failure handling follows production crawler practice: capped
+exponential backoff between retries, with *deterministic* jitter (a
+seeded hash of host/path/attempt rather than an RNG) so retry traffic
+is desynchronized across hosts yet every run replays identically.
+Backoff delays are charged to the network's **simulated** clock
+(``network.now``), never to wall time, and an optional per-request
+retry budget bounds how much simulated time one fetch may burn.
 """
 
 from __future__ import annotations
 
+import hashlib
 from typing import Optional
 
+from ..obs.metrics import shared_registry
 from .errors import ConnectionRefused, ConnectionReset, TooManyRedirects
 from .http import Headers, Request, Response, split_url
 from .transport import Network
@@ -28,6 +38,17 @@ class HttpClient:
         client_ip: Source IP presented to servers.
         follow_redirects: Whether :meth:`get` chases 3xx responses.
         max_redirects: Redirect budget before raising.
+        retries: Transient-failure retries per request.
+        backoff_base: First retry delay in simulated seconds; doubles
+            each attempt.
+        backoff_cap: Ceiling on a single backoff delay.
+        backoff_jitter: Fractional jitter added on top of each delay
+            (0.1 = up to +10%); deterministic per (seed, host, path,
+            attempt).  Zero disables jitter.
+        retry_time_budget: Maximum simulated seconds of backoff one
+            request may consume before giving up (None = unlimited).
+        jitter_seed: Seed folded into the jitter hash so distinct
+            clients (or chaos campaigns) desynchronize differently.
 
     >>> # doctest setup elided; see tests/net/test_client.py
     """
@@ -40,6 +61,11 @@ class HttpClient:
         follow_redirects: bool = True,
         max_redirects: int = 5,
         retries: int = 0,
+        backoff_base: float = 0.5,
+        backoff_cap: float = 30.0,
+        backoff_jitter: float = 0.1,
+        retry_time_budget: Optional[float] = None,
+        jitter_seed: int = 0,
     ):
         self.network = network
         self.user_agent = user_agent
@@ -49,6 +75,15 @@ class HttpClient:
         #: Transient-failure retries per request (connection resets and
         #: refusals; DNS failures are permanent and never retried).
         self.retries = retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.backoff_jitter = backoff_jitter
+        self.retry_time_budget = retry_time_budget
+        self.jitter_seed = jitter_seed
+        #: Cumulative simulated seconds this client has spent backing
+        #: off (also charged to ``network.now`` as delays happen).
+        self.retry_seconds = 0.0
+        self._retry_counter = shared_registry().counter("net.client_retries")
 
     def _build_request(
         self, url: str, method: str, user_agent: Optional[str]
@@ -76,8 +111,27 @@ class HttpClient:
         """HEAD *url* (no redirect following beyond the GET rules)."""
         return self._fetch(url, "HEAD", user_agent)
 
+    def backoff_delay(self, attempt: int, request: Request) -> float:
+        """Simulated seconds to wait before retry *attempt* (1-based).
+
+        ``base * 2**(attempt-1)`` capped at ``backoff_cap``, plus a
+        deterministic jitter fraction derived from
+        ``(jitter_seed, host, path, attempt)`` -- the same request
+        retried in another run waits exactly as long.
+        """
+        delay = min(self.backoff_base * (2 ** (attempt - 1)), self.backoff_cap)
+        if self.backoff_jitter:
+            digest = hashlib.sha256(
+                f"{self.jitter_seed}|{request.host}|{request.path}|{attempt}"
+                .encode()
+            ).digest()
+            fraction = int.from_bytes(digest[:8], "big") / 2**64
+            delay += delay * self.backoff_jitter * fraction
+        return delay
+
     def _send(self, request: Request) -> Response:
         attempts = 0
+        waited = 0.0
         while True:
             try:
                 return self.network.request(request)
@@ -85,6 +139,16 @@ class HttpClient:
                 attempts += 1
                 if attempts > self.retries:
                     raise
+                delay = self.backoff_delay(attempts, request)
+                if (
+                    self.retry_time_budget is not None
+                    and waited + delay > self.retry_time_budget
+                ):
+                    raise
+                waited += delay
+                self.retry_seconds += delay
+                self.network.now += delay
+                self._retry_counter.inc()
 
     def _fetch(self, url: str, method: str, user_agent: Optional[str]) -> Response:
         seen = 0
@@ -100,7 +164,11 @@ class HttpClient:
             if seen > self.max_redirects:
                 raise TooManyRedirects(url, self.max_redirects)
             location = response.headers["Location"]
-            if location.startswith("/"):
+            if location.startswith("//"):
+                # Protocol-relative: a network-path reference (RFC 3986
+                # section 4.2) names a new authority, not a local path.
+                current = f"{request.scheme}:{location}"
+            elif location.startswith("/"):
                 current = f"{request.scheme}://{request.host}{location}"
             else:
                 current = location

@@ -18,7 +18,21 @@ from ..obs.metrics import MetricsRegistry, metrics_enabled, shared_registry
 from .errors import ConnectionRefused, ConnectionReset, DNSFailure
 from .http import Request, Response
 
-__all__ = ["Handler", "Network", "current_month"]
+__all__ = ["Handler", "Network", "current_month", "set_chaos_factory"]
+
+#: When armed (see :func:`repro.net.chaos.activate`), every Network
+#: constructed from then on gets ``factory(network)`` as its chaos
+#: controller.  Lives here -- not in chaos.py -- so the transport never
+#: imports the chaos module; the dependency points one way only.
+_CHAOS_FACTORY: Optional[Callable[["Network"], object]] = None
+
+
+def set_chaos_factory(
+    factory: Optional[Callable[["Network"], object]]
+) -> None:
+    """Arm (or with None, disarm) chaos installation for new Networks."""
+    global _CHAOS_FACTORY
+    _CHAOS_FACTORY = factory
 
 #: Per-thread simulated-month clock, stamped by :meth:`Network.request`
 #: before dispatch.  Handlers read it via :func:`current_month` instead
@@ -73,6 +87,9 @@ class Network:
         # Per-host request tallies, kept as a plain dict (cheap) and
         # published as a requests-per-site histogram on demand.
         self._per_host_requests: Dict[str, int] = {}
+        #: Installed fault-plan controller (see repro.net.chaos); one
+        #: bool check per request when absent.
+        self._chaos = _CHAOS_FACTORY(self) if _CHAOS_FACTORY is not None else None
 
     # -- topology -----------------------------------------------------------
 
@@ -150,6 +167,25 @@ class Network:
         """Remove any injected failure for *host*."""
         self._failures.pop(host.lower(), None)
 
+    def install_chaos(self, controller: object) -> None:
+        """Attach a fault-plan controller (see :mod:`repro.net.chaos`).
+
+        The controller sees every dispatch: ``intercept(request)`` may
+        return a transport error to raise (counted through the same
+        ``net.errors`` path as organic failures), and
+        ``mutate_response(request, response)`` may corrupt the reply.
+        """
+        self._chaos = controller
+
+    def clear_chaos(self) -> None:
+        """Detach any installed fault-plan controller."""
+        self._chaos = None
+
+    @property
+    def chaos(self) -> Optional[object]:
+        """The installed fault-plan controller, or None."""
+        return self._chaos
+
     # -- telemetry ----------------------------------------------------------
 
     def _count_response(self, status: int) -> None:
@@ -205,12 +241,23 @@ class Network:
             if metered:
                 self._count_error("DNSFailure")
             raise DNSFailure(request.host)
+        chaos = self._chaos
+        if chaos is not None:
+            # After handler resolution (DNS wins over injected faults,
+            # matching the real network's ordering) but before dispatch.
+            exc = chaos.intercept(request)
+            if exc is not None:
+                if metered:
+                    self._count_error(type(exc).__name__)
+                raise exc
         # Propagate the simulation clocks: ``now`` to handlers that
         # keep logs, the month to this thread's dispatch clock.
         if hasattr(handler, "now"):
             handler.now = self.now
         _CLOCK.month = self.month
         response = handler.handle(request)
+        if chaos is not None:
+            response = chaos.mutate_response(request, response)
         if metered:
             self._count_response(response.status)
         return response

@@ -343,6 +343,22 @@ class MetricsRegistry:
         instrument = self._counters.get(_make_key(name, labels))
         return instrument.value if instrument is not None else 0
 
+    def counter_totals(self, prefix: str = "") -> Dict[str, int]:
+        """Rendered key -> total for every counter named under *prefix*.
+
+        The reporting surface for families of labeled counters (e.g.
+        all ``net.errors{kind=...}`` children, or everything a chaos
+        campaign recorded under ``chaos.``), sorted by rendered key so
+        output is stable.
+        """
+        with self._lock:
+            counters = dict(self._counters)
+        return {
+            render_key(key): instrument.value
+            for key, instrument in sorted(counters.items())
+            if key[0].startswith(prefix)
+        }
+
     # -- snapshot / merge -----------------------------------------------------
 
     def snapshot(self) -> Dict[str, Dict[InstrumentKey, object]]:

@@ -34,6 +34,7 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.compiled import shared_policy_cache
+from ..net import chaos as _chaos
 from ..obs.metrics import (
     MetricsRegistry,
     export_metrics,
@@ -334,6 +335,8 @@ def run_all(
     mode: str = "auto",
     collect_workers: Optional[int] = None,
     telemetry_dir: Optional[Union[str, Path]] = None,
+    fault_plan: Optional[Union["_chaos.FaultPlan", str]] = None,
+    chaos_seed: int = 0,
 ) -> RunReport:
     """Run the experiment battery over one shared world.
 
@@ -361,12 +364,26 @@ def run_all(
         telemetry_dir: When given, write ``METRICS.json`` and
             ``TRACE.jsonl`` into this directory after the run (see
             :meth:`RunReport.export_telemetry`).
+        fault_plan: A :class:`~repro.net.chaos.FaultPlan` (or its name)
+            armed for the whole run: every network the world build and
+            the runners construct gets the plan's fault controller.
+            Fork workers inherit the activation.  Because cached worlds
+            would leak fault-free snapshots into a chaos run (and vice
+            versa), a chaos run refuses the process-shared store unless
+            an explicit *store* is passed.
+        chaos_seed: Seed for the fault plan's host sampling.
 
     Returns:
         A :class:`RunReport` with results in registry order, the
         span-derived timing trajectory, and the run's span records.
     """
     global _WORKER_CONTEXT
+    if fault_plan is not None:
+        if isinstance(fault_plan, str):
+            fault_plan = _chaos.plan(fault_plan)
+        if store is None:
+            # Never mix fault-injected worlds with the shared cache.
+            store = WorldStore()
     store = store or shared_world_store()
     keys = list(experiments) if experiments is not None else experiment_keys()
     unknown = [k for k in keys if k not in _BY_KEY]
@@ -384,6 +401,12 @@ def run_all(
     set_tracing_enabled(True)
     run_mark = tracer.record_count()
     bundle: Optional[LongitudinalBundle] = None
+    # Arm the fault plan for the entire run: world build, serial and
+    # thread runners see it directly; fork workers inherit the armed
+    # factory, so networks built inside child processes get it too.
+    previous_chaos = _chaos.active_plan()
+    if fault_plan is not None:
+        _chaos.activate(fault_plan, chaos_seed)
     try:
         total_span = span(
             "run_all", mode=resolved, workers=n_workers, n_experiments=len(ordered)
@@ -448,6 +471,11 @@ def run_all(
                     tracer.absorb(shipped_spans)
     finally:
         set_tracing_enabled(was_tracing)
+        if fault_plan is not None:
+            if previous_chaos is None:
+                _chaos.deactivate()
+            else:
+                _chaos.activate(*previous_chaos)
 
     report = RunReport(
         workers=n_workers,

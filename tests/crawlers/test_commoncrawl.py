@@ -116,3 +116,112 @@ class TestSnapshotCrawler:
         crawler = SnapshotCrawler(make_net(), visits_per_site=3)
         snap = crawler.snapshot(SNAPSHOT_SPECS[0], ["a.com"])
         assert snap.records["a.com"].ok
+
+
+class TestDedupOnAllErrorVisits:
+    def test_latest_failure_mode_kept(self):
+        from repro.net.errors import ConnectionRefused, ConnectionReset
+        from repro.net.http import Request  # noqa: F401  (doc import)
+
+        net = make_net()
+        calls = {"n": 0}
+
+        def factory(request):
+            # First visit resets, later visits are refused: the record
+            # must report the most recent failure mode.
+            calls["n"] += 1
+            if calls["n"] == 1:
+                return ConnectionReset(request.host)
+            return ConnectionRefused(request.host)
+
+        net.inject_failure("a.com", factory)
+        crawler = SnapshotCrawler(net, visits_per_site=3, retry_errored=0)
+        record = crawler.crawl_site("a.com")
+        assert record.status == 0
+        assert "refused" in record.error.lower()
+
+    def test_error_never_displaces_success(self):
+        net = make_net()
+        crawler = SnapshotCrawler(net, visits_per_site=2, retry_errored=0)
+        # First visit succeeds; then the host turns flaky mid-crawl.
+        original_fetch = crawler._fetch_once
+        visits = {"n": 0}
+
+        def flaky_fetch(domain):
+            visits["n"] += 1
+            if visits["n"] > 1:
+                net.reset_connections(domain)
+            return original_fetch(domain)
+
+        crawler._fetch_once = flaky_fetch
+        record = crawler.crawl_site("a.com")
+        assert record.ok
+
+
+class TestRetryPassesAndErrorBudget:
+    def test_transient_error_healed_by_retry_pass(self):
+        net = make_net()
+        net.inject_flaky("a.com", failures=1)
+        crawler = SnapshotCrawler(net, retry_errored=2)
+        snap = crawler.snapshot(SNAPSHOT_SPECS[0], ["a.com", "b.com"])
+        assert snap.records["a.com"].ok
+        budget = snap.error_budget
+        assert budget.n_sites == 2
+        assert budget.n_errored_first_pass == 1
+        assert budget.n_healed == 1
+        assert budget.n_errored_final == 0
+        assert budget.retry_passes == 1
+        assert budget.heal_rate == 1.0
+
+    def test_flaky_host_heals_after_exactly_n_failures(self):
+        net = make_net()
+        net.inject_flaky("a.com", failures=2)
+        crawler = SnapshotCrawler(net, retry_errored=3)
+        snap = crawler.snapshot(SNAPSHOT_SPECS[0], ["a.com"])
+        assert snap.records["a.com"].ok
+        # First pass errored, pass 1 errored (failure #2), pass 2 healed.
+        assert snap.error_budget.retry_passes == 2
+        assert snap.error_budget.n_healed == 1
+
+    def test_permanent_error_survives_retries(self):
+        net = make_net()
+        crawler = SnapshotCrawler(net, retry_errored=2)
+        snap = crawler.snapshot(SNAPSHOT_SPECS[0], ["ghost.example", "a.com"])
+        assert snap.records["ghost.example"].error
+        budget = snap.error_budget
+        assert budget.n_errored_final == 1
+        assert budget.n_healed == 0
+        assert budget.retry_passes == 2
+        assert sum(budget.errors_by_kind.values()) == 1
+
+    def test_clean_crawl_costs_no_retry_passes(self):
+        crawler = SnapshotCrawler(make_net(), retry_errored=2)
+        snap = crawler.snapshot(SNAPSHOT_SPECS[0], ["a.com", "b.com"])
+        budget = snap.error_budget
+        assert budget.n_errored_first_pass == 0
+        assert budget.retry_passes == 0
+        assert budget.heal_rate == 1.0
+
+    def test_retries_disabled_globally(self):
+        from repro.net.chaos import retries_disabled
+
+        net = make_net()
+        net.inject_flaky("a.com", failures=1)
+        crawler = SnapshotCrawler(net, retry_errored=2)
+        with retries_disabled():
+            snap = crawler.snapshot(SNAPSHOT_SPECS[0], ["a.com"])
+        assert snap.records["a.com"].error
+        assert snap.error_budget.retry_passes == 0
+        assert snap.error_budget.n_errored_final == 1
+
+    def test_healed_snapshot_equals_fault_free_snapshot(self):
+        spec = SNAPSHOT_SPECS[0]
+        clean = SnapshotCrawler(make_net()).snapshot(spec, ["a.com", "b.com"])
+        flaky_net = make_net()
+        flaky_net.inject_flaky("a.com", failures=1)
+        healed = SnapshotCrawler(flaky_net, retry_errored=2).snapshot(
+            spec, ["a.com", "b.com"]
+        )
+        # error_budget is excluded from equality: a healed snapshot is
+        # the same measurement as a fault-free one.
+        assert clean == healed

@@ -363,3 +363,69 @@ class TestConditionalRevalidation:
         result = crawler.fetch("target.com", "/b")
         robots_hits = [s for p, s in result.fetched if p == "/robots.txt"]
         assert robots_hits == [200]
+
+
+class TestFetchTelemetryOnErrors:
+    def _flaky_world(self):
+        net, site = make_world("User-agent: *\nDisallow:")
+        return net, site
+
+    def test_errored_fetch_not_counted_as_fetched(self):
+        from repro.obs.metrics import shared_registry
+        from repro.obs.series import shared_series
+
+        net, site = self._flaky_world()
+        crawler = Crawler(CrawlerProfile.defiant("ErrBot"), net)
+        registry = shared_registry()
+        series = shared_series()
+        fetched_before = registry.counter_value("crawler.fetches", agent="other")
+        net.month = 3
+        net.reset_connections("target.com")
+        result = crawler.fetch("target.com", "/a")
+        assert result.errors and not result.fetched
+        assert (
+            registry.counter_value("crawler.fetches", agent="other")
+            == fetched_before
+        )
+        assert (
+            series.series("crawl.requests", agent="other", outcome="error")
+            .value_at(3) >= 1
+        )
+
+    def test_successful_fetch_still_counted(self):
+        from repro.obs.metrics import shared_registry
+
+        net, site = self._flaky_world()
+        crawler = Crawler(CrawlerProfile.defiant("OkBot"), net)
+        registry = shared_registry()
+        before = registry.counter_value("crawler.fetches", agent="other")
+        crawler.fetch("target.com", "/a")
+        assert registry.counter_value("crawler.fetches", agent="other") == before + 1
+
+    def test_crawl_errors_booked_as_errors_not_fetches(self):
+        from repro.obs.metrics import shared_registry
+
+        net, site = self._flaky_world()
+        crawler = Crawler(CrawlerProfile.oblivious("CrawlErrBot"), net)
+        registry = shared_registry()
+        before = registry.counter_value("crawler.fetches", agent="other")
+        net.reset_connections("target.com")
+        result = crawler.crawl("target.com", max_pages=3)
+        assert result.errors and not result.fetched
+        assert registry.counter_value("crawler.fetches", agent="other") == before
+
+
+class TestContentFetchesExactPath:
+    def test_robots_lookalike_paths_are_content(self):
+        net, site = make_world()
+        site.add_page("/robots.txt.bak", "old robots backup")
+        crawler = Crawler(CrawlerProfile.oblivious("LookalikeBot"), net)
+        result = crawler.fetch("target.com", "/robots.txt.bak")
+        assert result.content_fetches == ["/robots.txt.bak"]
+
+    def test_exact_robots_path_excluded(self):
+        net, site = make_world("User-agent: *\nDisallow:")
+        crawler = Crawler(CrawlerProfile.respectful("ExactBot"), net)
+        result = crawler.fetch("target.com", "/a")
+        assert "/robots.txt" not in result.content_fetches
+        assert result.content_fetches == ["/a"]

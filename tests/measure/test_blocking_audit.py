@@ -204,3 +204,96 @@ class TestFigure7Inference:
         assert determined_rate > 0.8           # paper: 93%
         enabled_rate = summary.n_enabled / max(summary.n_determined, 1)
         assert 0.01 < enabled_rate < 0.15      # paper: 5.7%
+
+
+class TestConfirmationProbes:
+    def _open_net(self):
+        net = Network()
+        net.register(plain_site("open.com"))
+        return net
+
+    def test_transient_ai_reset_is_not_blocking(self):
+        from repro.net.chaos import NAMED_PLANS
+
+        net = self._open_net()
+        NAMED_PLANS["ai-probe-resets"].install(net)
+        verdict = detect_active_blocking(net, "open.com")
+        assert not verdict.blocks_ai and not verdict.excluded
+        # Confirmation fired: the first Claudebot probe reset, the
+        # re-probe agreed with the control.
+        assert verdict.probe_attempts["Claudebot/1.0"] == 2
+        assert verdict.probe_attempts["anthropic-ai"] == 2
+
+    def test_transient_reset_survey_zero_false_positives(self):
+        from repro.net.chaos import FaultPlan, FaultRule
+
+        hosts = [f"site{i}.example" for i in range(30)]
+        net = Network()
+        for host in hosts:
+            net.register(plain_site(host))
+        FaultPlan(
+            "transient",
+            (FaultRule(kind="reset", rate=1.0, max_per_host=1),),
+        ).install(net)
+        survey = survey_active_blocking(net, hosts)
+        assert survey.n_blocking == 0
+        assert survey.n_excluded == 0
+
+    def test_without_confirmation_false_positive_returns(self):
+        from repro.net.chaos import NAMED_PLANS, retries_disabled
+
+        net = self._open_net()
+        NAMED_PLANS["ai-probe-resets"].install(net)
+        with retries_disabled():
+            verdict = detect_active_blocking(net, "open.com")
+        assert verdict.blocks_ai
+        assert verdict.confirmation.attempts == 0
+
+    def test_persistent_blocker_still_detected_under_chaos(self):
+        from repro.net.chaos import NAMED_PLANS
+
+        net = Network()
+        rules = RuleSet.blocking_user_agents(["Claudebot", "anthropic-ai"])
+        net.register(ReverseProxy(plain_site("waf.com"), rules))
+        NAMED_PLANS["flaky-resets"].install(net)
+        verdict = detect_active_blocking(net, "waf.com")
+        assert verdict.blocks_ai
+
+    def test_transient_control_failure_not_excluded(self):
+        net = self._open_net()
+        net.inject_flaky("open.com", failures=1)
+        verdict = detect_active_blocking(net, "open.com")
+        assert not verdict.excluded
+        assert verdict.probe_attempts["control"] == 2
+
+    def test_deliberate_tool_block_still_excluded_without_retry(self):
+        net = Network()
+        net.register(ReverseProxy(plain_site("fp.com"), block_all_automation=True))
+        verdict = detect_active_blocking(net, "fp.com")
+        assert verdict.excluded
+        # An HTTP answer is accepted at face value -- no re-probe.
+        assert verdict.probe_attempts["control"] == 1
+
+    def test_confirmation_policy_recorded_on_verdict(self):
+        from repro.measure.active_blocking import (
+            ConfirmationPolicy,
+            DEFAULT_CONFIRMATION,
+        )
+
+        verdict = detect_active_blocking(self._open_net(), "open.com")
+        assert verdict.confirmation == DEFAULT_CONFIRMATION
+        custom = ConfirmationPolicy(attempts=4, spacing_seconds=1.0)
+        verdict = detect_active_blocking(
+            self._open_net(), "open.com", confirmation=custom
+        )
+        assert verdict.confirmation == custom
+
+    def test_spacing_charged_to_simulated_clock(self):
+        from repro.measure.active_blocking import ConfirmationPolicy
+
+        net = self._open_net()
+        net.inject_flaky("open.com", failures=2)
+        policy = ConfirmationPolicy(attempts=3, spacing_seconds=5.0)
+        verdict = detect_active_blocking(net, "open.com", confirmation=policy)
+        assert not verdict.excluded
+        assert net.now == 10.0  # two spaced control re-probes

@@ -220,3 +220,140 @@ class TestFlakyInjectionAndRetries:
         client = HttpClient(Network(), retries=5)
         with pytest.raises(DNSFailure):
             client.get("https://ghost.example/")
+
+
+class TestBackoff:
+    def _net(self):
+        net = Network()
+        net.register(make_site("example.com"))
+        return net
+
+    def test_backoff_consumes_expected_simulated_time(self):
+        net = self._net()
+        net.inject_flaky("example.com", failures=3)
+        client = HttpClient(net, retries=3, backoff_base=1.0, backoff_jitter=0.0)
+        assert client.get("https://example.com/about").ok
+        # Three retries: 1 + 2 + 4 simulated seconds, exactly.
+        assert net.now == 7.0
+        assert client.retry_seconds == 7.0
+
+    def test_backoff_capped(self):
+        net = self._net()
+        net.inject_flaky("example.com", failures=4)
+        client = HttpClient(
+            net, retries=4, backoff_base=1.0, backoff_cap=2.0, backoff_jitter=0.0
+        )
+        assert client.get("https://example.com/").ok
+        # 1 + 2 + 2 + 2: the cap clamps every delay past the second.
+        assert net.now == 7.0
+
+    def test_jitter_is_deterministic(self):
+        request = Request(host="example.com", path="/a")
+        a = HttpClient(self._net(), jitter_seed=5)
+        b = HttpClient(self._net(), jitter_seed=5)
+        c = HttpClient(self._net(), jitter_seed=6)
+        assert a.backoff_delay(1, request) == b.backoff_delay(1, request)
+        assert a.backoff_delay(1, request) != c.backoff_delay(1, request)
+
+    def test_jitter_bounded_by_fraction(self):
+        client = HttpClient(self._net(), backoff_base=1.0, backoff_jitter=0.1)
+        for attempt in (1, 2, 3):
+            base = min(1.0 * 2 ** (attempt - 1), client.backoff_cap)
+            delay = client.backoff_delay(
+                attempt, Request(host="example.com", path="/x")
+            )
+            assert base <= delay <= base * 1.1
+
+    def test_retry_time_budget_gives_up_early(self):
+        net = self._net()
+        net.inject_flaky("example.com", failures=10)
+        client = HttpClient(
+            net,
+            retries=10,
+            backoff_base=1.0,
+            backoff_jitter=0.0,
+            retry_time_budget=3.0,
+        )
+        with pytest.raises(ConnectionReset):
+            client.get("https://example.com/")
+        # 1 + 2 fit the 3s budget; the third delay (4s) would not.
+        assert net.now == 3.0
+
+    def test_retries_counted_in_registry(self):
+        from repro.obs.metrics import shared_registry
+
+        before = shared_registry().counter_value("net.client_retries")
+        net = self._net()
+        net.inject_flaky("example.com", failures=2)
+        HttpClient(net, retries=3).get("https://example.com/")
+        assert shared_registry().counter_value("net.client_retries") == before + 2
+
+
+class TestProtocolRelativeRedirect:
+    def test_protocol_relative_location_switches_host(self):
+        net = Network()
+        net.register(make_site("other.example"))
+        apex = Website("start.example")
+        apex.add_page("/", "x")
+        net.register(apex)
+
+        class _Hop:
+            host = "hop.example"
+
+            def handle(self, request):
+                from repro.net.http import Headers, Response
+
+                return Response(
+                    status=301,
+                    headers=Headers({"Location": "//other.example/about"}),
+                )
+
+        net.register(_Hop())
+        response = HttpClient(net).get("https://hop.example/")
+        assert response.ok
+        assert "About" in response.text
+        assert response.url == "https://other.example/about"
+
+    def test_protocol_relative_keeps_request_scheme(self):
+        net = Network()
+        net.register(make_site("other.example"))
+
+        class _Hop:
+            host = "hop.example"
+
+            def handle(self, request):
+                from repro.net.http import Headers, Response
+
+                return Response(
+                    status=302,
+                    headers=Headers({"Location": "//other.example/"}),
+                )
+
+        net.register(_Hop())
+        response = HttpClient(net).get("http://hop.example/")
+        assert response.url.startswith("http://other.example/")
+
+    def test_single_slash_location_still_resolves_locally(self):
+        net = Network()
+        net.register(make_site("example.com"))
+
+        class _Hop:
+            host = "hop.example"
+
+            def handle(self, request):
+                from repro.net.http import Headers, Response
+
+                return Response(
+                    status=301, headers=Headers({"Location": "/about"})
+                )
+
+        net.register(_Hop())
+        # One leading slash is a local path on the *current* host; the
+        # hop site has no /about, so the redirect 404s there rather
+        # than jumping hosts.
+        response = HttpClient(net).get("https://example.com/")
+        assert response.ok
+        hop = HttpClient(net, max_redirects=1)
+        with pytest.raises(TooManyRedirects):
+            # /about on hop.example redirects forever back to itself.
+            hop.get("https://hop.example/")

@@ -292,3 +292,47 @@ class TestDashboard:
         assert main(["dashboard", str(tmp_path)]) == 2
         err = capsys.readouterr().err
         assert "missing telemetry artifact" in err and "Traceback" not in err
+
+
+class TestChaos:
+    @pytest.fixture(autouse=True)
+    def _tiny_world(self, monkeypatch):
+        from repro import cli
+        from repro.web.population import PopulationConfig
+
+        monkeypatch.setattr(
+            cli,
+            "_fast_config",
+            lambda: PopulationConfig(
+                universe_size=300, list_size=200, top5k_cut=30,
+                audit_size=60, seed=11,
+            ),
+        )
+
+    def test_healable_plan_exits_clean(self, capsys):
+        assert main(["chaos", "--plan", "flaky-resets", "--seed", "0",
+                     "--fast", "--experiments", "sec62"]) == 0
+        out = capsys.readouterr().out
+        assert "byte-identical" in out
+        assert "chaos.faults" in out
+
+    def test_no_retries_drifts(self, capsys):
+        assert main(["chaos", "--plan", "flaky-resets", "--fast",
+                     "--no-retries", "--experiments", "sec62"]) == 1
+        out = capsys.readouterr().out
+        assert "DRIFT" in out
+
+    def test_unknown_plan_is_one_line_error(self, capsys):
+        assert main(["chaos", "--plan", "nope", "--fast"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown plan" in err and "flaky-resets" in err
+
+    def test_results_dir_written(self, tmp_path, capsys):
+        assert main(["chaos", "--fast", "--experiments", "sec62",
+                     "--results-dir", str(tmp_path)]) == 0
+        assert (tmp_path / "baseline" / "sec62.txt").exists()
+        assert (tmp_path / "chaos" / "sec62.txt").exists()
+        assert (
+            (tmp_path / "baseline" / "sec62.txt").read_bytes()
+            == (tmp_path / "chaos" / "sec62.txt").read_bytes()
+        )
