@@ -89,6 +89,23 @@ def artifact_dir() -> pathlib.Path:
     return OUTPUT_DIR
 
 
+@pytest.fixture(scope="session")
+def record_timing():
+    """Record a precisely measured duration under an explicit bench key.
+
+    Benches that time several distinct regimes inside one test (e.g.
+    cold-start vs warm-incremental reproduction) use this to give each
+    regime its own key in ``BENCH_RESULTS.json``, so the rolling-median
+    regression gate in ``scripts/bench.py`` never mixes regimes whose
+    costs differ by orders of magnitude.
+    """
+
+    def _record(key: str, seconds: float) -> None:
+        _TIMINGS[key] = round(seconds, 6)
+
+    return _record
+
+
 def save_artifact(directory: pathlib.Path, result: ExperimentResult) -> None:
     """Write one experiment's rendered text under benchmarks/output/."""
     path = directory / f"{result.experiment_id}.txt"

@@ -31,6 +31,7 @@ REPO = pathlib.Path(__file__).resolve().parent.parent
 RESULTS = REPO / "benchmarks" / "output" / "BENCH_RESULTS.json"
 OBS_OVERHEAD = REPO / "benchmarks" / "output" / "OBS_OVERHEAD.json"
 CHAOS_OVERHEAD = REPO / "benchmarks" / "output" / "CHAOS_OVERHEAD.json"
+INCREMENTAL = REPO / "benchmarks" / "output" / "INCREMENTAL.json"
 
 #: Telemetry's disabled fast path may imply at most this much slowdown
 #: on the Figure 2 pipeline (percent; see bench_obs_overhead.py).
@@ -39,6 +40,10 @@ OBS_OVERHEAD_BUDGET_PCT = 1.0
 #: An armed transient fault plan may imply at most this much slowdown
 #: on the snapshot pipeline (percent; see bench_chaos_overhead.py).
 CHAOS_OVERHEAD_BUDGET_PCT = 1.0
+
+#: A warm incremental battery must beat the cold run by at least this
+#: factor (see bench_incremental.py).
+INCREMENTAL_MIN_SPEEDUP = 3.0
 
 #: History entries folded into the rolling-median baseline.
 BASELINE_WINDOW = 5
@@ -153,7 +158,8 @@ def main() -> int:
 
     obs_ok = _check_obs_overhead()
     chaos_ok = _check_chaos_overhead()
-    overhead_ok = obs_ok and chaos_ok
+    incremental_ok = _check_incremental()
+    overhead_ok = obs_ok and chaos_ok and incremental_ok
 
     if regressions:
         print(f"\n{len(regressions)} bench(es) regressed more than "
@@ -183,6 +189,29 @@ def _check_obs_overhead() -> bool:
           f"figure2: {implied:.3f}% (budget {OBS_OVERHEAD_BUDGET_PCT:.1f}%)")
     if implied > OBS_OVERHEAD_BUDGET_PCT:
         print("  <-- OVER BUDGET")
+        return False
+    return True
+
+
+def _check_incremental() -> bool:
+    """Gate the warm-incremental speedup floor from INCREMENTAL.json."""
+    if not INCREMENTAL.exists():
+        return True  # bench deselected this run; nothing to check
+    try:
+        payload = json.loads(INCREMENTAL.read_text())
+    except (ValueError, OSError):
+        print(f"warning: unreadable {INCREMENTAL}")
+        return True
+    speedup = payload.get("speedup")
+    if speedup is None:
+        return True
+    cold = payload.get("cold_seconds", 0.0)
+    warm = payload.get("warm_seconds", 0.0)
+    print(f"\n== incremental reproduction ==\n  warm battery {warm:.3f}s vs "
+          f"cold {cold:.3f}s: {speedup:.1f}x speedup "
+          f"(floor {INCREMENTAL_MIN_SPEEDUP:.1f}x)")
+    if speedup < INCREMENTAL_MIN_SPEEDUP:
+        print("  <-- UNDER FLOOR")
         return False
     return True
 

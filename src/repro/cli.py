@@ -95,6 +95,23 @@ def build_parser() -> argparse.ArgumentParser:
     reproduce.add_argument("--telemetry-dir", metavar="DIR", default=None,
                            help="also write METRICS.json, SERIES.json and "
                                 "TRACE.jsonl into DIR")
+    reproduce.add_argument("--incremental", action="store_true",
+                           help="reuse unchanged experiment results from the "
+                                "persistent store; re-run only experiments "
+                                "whose inputs changed")
+    reproduce.add_argument("--incremental-dir", metavar="DIR",
+                           default=".repro-cache",
+                           help="incremental store directory "
+                                "(default: .repro-cache)")
+    reproduce.add_argument("--explain-invalidation", action="store_true",
+                           help="report, per experiment, whether it was "
+                                "assembled from the store or re-run and why "
+                                "(implies --incremental)")
+    reproduce.add_argument("--set", metavar="KEY.PARAM=VALUE", action="append",
+                           dest="param_edits", default=None,
+                           help="override a declared experiment parameter "
+                                "(e.g. --set table1.months=4); invalidates "
+                                "exactly that experiment's cached result")
 
     chaos_cmd = sub.add_parser(
         "chaos",
@@ -263,16 +280,64 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_param_edits(items):
+    """``KEY.PARAM=VALUE`` strings -> ``{key: {param: value}}``.
+
+    Values parse as JSON when possible (``4``, ``true``, ``"x"``) and
+    fall back to the raw string otherwise.
+    """
+    import json
+
+    overrides = {}
+    for item in items:
+        head, sep, raw = item.partition("=")
+        key, dot, param = head.partition(".")
+        if not sep or not dot or not key or not param:
+            raise ValueError(
+                f"malformed --set {item!r}; expected KEY.PARAM=VALUE"
+            )
+        try:
+            value = json.loads(raw)
+        except ValueError:
+            value = raw
+        overrides.setdefault(key, {})[param] = value
+    return overrides
+
+
+#: Human explanations for RunReport.incremental dispositions.
+_DISPOSITION_NOTES = {
+    "hit": "assembled from store (inputs unchanged)",
+    "run:first": "ran (no stored result)",
+    "run:invalidated": "ran (config/parameter inputs changed)",
+    "bypassed:chaos": "store bypassed (fault plan armed)",
+}
+
+
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     from .report.orchestrator import run_all
 
-    report = run_all(
-        config=_fast_config() if args.fast else None,
-        workers=args.workers,
-        experiments=args.only,
-        collect_workers=args.workers,
-        telemetry_dir=args.telemetry_dir,
-    )
+    incremental = args.incremental or args.explain_invalidation
+    try:
+        param_overrides = (
+            _parse_param_edits(args.param_edits) if args.param_edits else None
+        )
+    except ValueError as exc:
+        print(f"repro reproduce: {exc}", file=sys.stderr)
+        return 2
+
+    try:
+        report = run_all(
+            config=_fast_config() if args.fast else None,
+            workers=args.workers,
+            experiments=args.only,
+            collect_workers=args.workers,
+            telemetry_dir=args.telemetry_dir,
+            incremental=args.incremental_dir if incremental else None,
+            param_overrides=param_overrides,
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"repro reproduce: {exc}", file=sys.stderr)
+        return 2
     for result in report.results:
         print(f"== {result.title} ==")
         print(result.text)
@@ -282,6 +347,16 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
           f"world {report.world_seconds:.1f}s, total {report.total_seconds:.1f}s")
     for entry in report.to_timings()["experiments"]:
         print(f"  {entry['key']:12s} {entry['seconds']:.2f}s")
+    if report.incremental:
+        reran = [k for k, v in report.incremental.items() if v.startswith("run:")]
+        hits = sum(1 for v in report.incremental.values() if v == "hit")
+        print(f"incremental: {hits} from store, {len(reran)} re-ran "
+              f"[{args.incremental_dir}]")
+    if args.explain_invalidation:
+        print("invalidation report:")
+        for key, disposition in report.incremental.items():
+            note = _DISPOSITION_NOTES.get(disposition, disposition)
+            print(f"  {key:12s} {disposition:16s} {note}")
     if args.telemetry_dir:
         print(f"telemetry: {args.telemetry_dir}/METRICS.json, "
               f"{args.telemetry_dir}/SERIES.json, "
@@ -437,6 +512,31 @@ def _print_diff(diff) -> None:
         print(f"\nRESULT: OK (no drift beyond {diff.threshold:.0%})")
 
 
+def _print_cache_effectiveness(payload) -> None:
+    """Incremental cache effectiveness, when the run recorded any.
+
+    Reads the ``incremental.*`` counters (experiment-level store
+    decisions), the ``delta.*`` gauges, and the
+    ``measure.policy_cache.persistent_hits`` gauge (body-level
+    persistent probes) out of a METRICS.json payload.
+    """
+    counters = payload.get("counters", {})
+    gauges = payload.get("gauges", {})
+    hits = counters.get("incremental.hits", 0)
+    misses = counters.get("incremental.misses", 0)
+    invalidations = counters.get("incremental.invalidations", 0)
+    decisions = hits + misses + invalidations
+    persistent = gauges.get("measure.policy_cache.persistent_hits", 0)
+    if not decisions and not persistent:
+        return
+    print("\nincremental cache effectiveness:")
+    if decisions:
+        print(f"  experiments: {hits}/{decisions} from store "
+              f"({misses} first-run, {invalidations} invalidated)")
+    if persistent:
+        print(f"  body verdicts: {persistent:.0f} persistent hits")
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -465,6 +565,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         if not wants_trace:
             payload = load_metrics(metrics_path)
             _print_metrics_tables(payload, str(metrics_path), args.section)
+            _print_cache_effectiveness(payload)
             return 0
 
         records = load_trace(trace_path)
@@ -475,6 +576,10 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             for depth, record in enumerate(chain):
                 print(f"  {'  ' * depth}{record.get('name', '?')} "
                       f"{float(record.get('duration_seconds', 0.0)):.3f}s")
+            try:
+                _print_cache_effectiveness(load_metrics(metrics_path))
+            except TelemetryError:
+                pass  # a trace without metrics is still analyzable
         if args.utilization:
             timeline = worker_utilization(records)
             rows = [(f"{seg['start']:.3f}", f"{seg['end']:.3f}", seg["active"])

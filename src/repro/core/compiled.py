@@ -116,6 +116,11 @@ class CompiledRobots(RobotsPolicy):
     False
     """
 
+    #: SHA-256 content address of the source body, stamped by
+    #: :class:`CompiledPolicyCache` (None for directly constructed
+    #: policies, which never pass through a digest computation).
+    content_digest: Optional[str] = None
+
     def __init__(self, source: Union[str, bytes, ParsedRobots]):
         super().__init__(source)
         self._agent_rules: Dict[str, AgentRules] = {}
@@ -208,6 +213,9 @@ class CompiledPolicyCache:
                 return cached
             self.misses += 1
         compiled = CompiledRobots(source)
+        # Stamp the content address: persistent caches key on it, and
+        # stamping here means they never re-hash the body text.
+        compiled.content_digest = key
         with self._lock:
             if (
                 self.max_policies is not None

@@ -29,6 +29,7 @@ __all__ = [
     "SnapshotCrawler",
     "ErrorBudget",
     "SNAPSHOT_SPECS",
+    "carry_forward_snapshot",
 ]
 
 #: CCBot's real user agent string.
@@ -220,6 +221,36 @@ class Snapshot:
     def sites_with_robots(self) -> List[str]:
         """Domains with a successfully retrieved robots.txt."""
         return [d for d, r in self.records.items() if r.ok]
+
+
+def carry_forward_snapshot(
+    fetched: Snapshot, previous: Snapshot, domains: Iterable[str]
+) -> Snapshot:
+    """Assemble a full snapshot from a delta crawl plus the prior month.
+
+    *fetched* holds records only for the sites actually re-crawled this
+    snapshot; every other domain's record is carried forward unchanged
+    from *previous* (which must be a full snapshot).  Records are laid
+    down in *domains* order, so the assembled snapshot's insertion
+    order -- and therefore every iteration a consumer performs over it
+    -- is identical to a full crawl's.
+
+    Carrying a record forward is sound exactly when the site's served
+    robots state did not change between the two snapshot months (see
+    :meth:`repro.web.site.SimSite.robots_changed_between`): handlers
+    are memoized per effective robots text and serving is
+    response-stateless, so a re-crawl would reproduce the same record
+    byte for byte.
+    """
+    fetched_records = fetched.records
+    previous_records = previous.records
+    records: Dict[str, SiteRecord] = {}
+    for domain in domains:
+        record = fetched_records.get(domain)
+        records[domain] = record if record is not None else previous_records[domain]
+    return Snapshot(
+        spec=fetched.spec, records=records, error_budget=fetched.error_budget
+    )
 
 
 class SnapshotCrawler:

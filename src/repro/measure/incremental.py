@@ -1,0 +1,283 @@
+"""Persistent, content-addressed incremental store for the report plane.
+
+The reproduction pipeline is referentially transparent end to end: every
+experiment is a pure function of its :class:`PopulationConfig` (via
+``config_digest``) and declared parameters, and every body-level
+classification is a pure function of the robots.txt bytes (via their
+SHA-256 content address) and the query parameters.  This module turns
+that purity into cross-process reuse: results are memoized on disk
+under those digests, so a warm ``repro reproduce --incremental`` run
+re-derives only what actually changed -- O(changed), not O(all).
+
+Three layers live in one store directory (default ``.repro-cache``):
+
+* ``meta.json`` -- a schema fingerprint.  Any format change to the
+  store, the classification tuple, or the experiment result shape
+  changes the fingerprint, and a store written by an older layout
+  self-invalidates wholesale on load (stale caches can never leak
+  stale bytes into results).
+* ``bodies.json`` -- per-body classification, full-disallow sweep,
+  explicit-allow, and allow-sweep verdicts keyed by the robots body's
+  SHA-256 (the same content address
+  :class:`~repro.core.compiled.CompiledPolicyCache` uses) plus a
+  digest of the query parameters.
+* ``experiments.json`` -- finished
+  :class:`~repro.report.experiments.ExperimentResult` payloads keyed by
+  experiment key, each guarded by the input digest it was computed
+  under (config digest + world kind + declared parameters).
+
+Chaos interaction: the store must never observe a faulted world.
+:func:`repro.report.orchestrator.run_all` refuses to read *or* write
+the store while a :class:`~repro.net.chaos.FaultPlan` is armed, and
+delta snapshot collection independently falls back to full crawls (see
+:func:`~repro.measure.longitudinal.collect_snapshots`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from threading import Lock
+from typing import Dict, Optional, Tuple, Union
+
+from ..core.classify import Classification, RestrictionLevel
+
+__all__ = [
+    "IncrementalStore",
+    "SCHEMA_FINGERPRINT",
+    "params_digest",
+    "experiment_input_key",
+]
+
+#: Bump any entry when its on-disk shape changes; the fingerprint shift
+#: then invalidates every existing store automatically.
+_SCHEMA = {
+    "store": 1,
+    "classification": ["level", "explicit", "explicit_allow"],
+    "flags": ["full_any", "explicit_allow", "allow_any"],
+    "experiment": ["experiment_id", "title", "text", "metrics"],
+}
+
+SCHEMA_FINGERPRINT = hashlib.sha256(
+    json.dumps(_SCHEMA, sort_keys=True, separators=(",", ":")).encode("utf-8")
+).hexdigest()
+
+#: Valid boolean-verdict families in ``bodies.json``.
+_FLAG_KINDS = ("full_any", "explicit_allow", "allow_any")
+
+
+def params_digest(payload: object) -> str:
+    """Digest of a JSON-able parameter payload (sorted-key canonical)."""
+    canonical = json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), default=str
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def experiment_input_key(
+    spec_key: str,
+    result_id: str,
+    world: str,
+    world_digest: str,
+    params: Tuple[Tuple[str, object], ...],
+) -> str:
+    """The invalidation key for one experiment run.
+
+    Covers everything that can change an experiment's output: which
+    registry entry it is, which world kind it consumes, the world's
+    ``config_digest`` (or ``"-"`` for world-free experiments), and the
+    declared parameters it runs with.  Equal key = equal result.
+    """
+    return params_digest(
+        {
+            "spec": spec_key,
+            "result_id": result_id,
+            "world": world,
+            "world_digest": world_digest,
+            "params": {name: value for name, value in params},
+        }
+    )
+
+
+def _atomic_write(path: Path, payload: object) -> None:
+    """Write JSON via tmp + rename so readers never see a torn file."""
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(
+        json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n",
+        encoding="utf-8",
+    )
+    os.replace(tmp, path)
+
+
+class IncrementalStore:
+    """On-disk memo for body verdicts and finished experiment results.
+
+    Thread-safe; all mutation happens in memory and persists on
+    :meth:`flush` (atomic per file).  A store whose on-disk schema
+    fingerprint does not match :data:`SCHEMA_FINGERPRINT` loads as
+    empty and is rewritten in the current format on the next flush.
+    """
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self._lock = Lock()
+        self._classifications: Dict[str, Dict[str, list]] = {}
+        self._flags: Dict[str, Dict[str, Dict[str, bool]]] = {
+            kind: {} for kind in _FLAG_KINDS
+        }
+        self._experiments: Dict[str, Dict[str, object]] = {}
+        self._dirty = False
+        #: True when an on-disk store existed but carried a stale
+        #: schema fingerprint (its contents were discarded).
+        self.schema_invalidated = False
+        self._load()
+
+    # -- persistence ----------------------------------------------------------
+
+    @property
+    def meta_path(self) -> Path:
+        return self.root / "meta.json"
+
+    @property
+    def bodies_path(self) -> Path:
+        return self.root / "bodies.json"
+
+    @property
+    def experiments_path(self) -> Path:
+        return self.root / "experiments.json"
+
+    def _load(self) -> None:
+        try:
+            meta = json.loads(self.meta_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if meta.get("schema_fingerprint") != SCHEMA_FINGERPRINT:
+            self.schema_invalidated = True
+            return
+        try:
+            bodies = json.loads(self.bodies_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            bodies = {}
+        try:
+            experiments = json.loads(
+                self.experiments_path.read_text(encoding="utf-8")
+            )
+        except (OSError, ValueError):
+            experiments = {}
+        self._classifications = bodies.get("classify", {})
+        for kind in _FLAG_KINDS:
+            self._flags[kind] = bodies.get(kind, {})
+        self._experiments = experiments
+
+    def flush(self) -> None:
+        """Persist every layer (no-op when nothing changed)."""
+        with self._lock:
+            if not self._dirty:
+                return
+            self.root.mkdir(parents=True, exist_ok=True)
+            _atomic_write(
+                self.meta_path, {"schema_fingerprint": SCHEMA_FINGERPRINT}
+            )
+            bodies = {"classify": self._classifications}
+            for kind in _FLAG_KINDS:
+                bodies[kind] = self._flags[kind]
+            _atomic_write(self.bodies_path, bodies)
+            _atomic_write(self.experiments_path, self._experiments)
+            self._dirty = False
+
+    # -- body-level verdicts ---------------------------------------------------
+
+    def get_classification(
+        self, body_digest: str, user_agent: str, require_explicit: bool
+    ) -> Optional[Classification]:
+        entry = self._classifications.get(body_digest)
+        if entry is None:
+            return None
+        row = entry.get(f"{user_agent}|{int(require_explicit)}")
+        if row is None:
+            return None
+        level, explicit, explicit_allow = row
+        return Classification(
+            level=RestrictionLevel(level),
+            explicit=bool(explicit),
+            explicit_allow=bool(explicit_allow),
+        )
+
+    def put_classification(
+        self,
+        body_digest: str,
+        user_agent: str,
+        require_explicit: bool,
+        result: Classification,
+    ) -> None:
+        with self._lock:
+            entry = self._classifications.setdefault(body_digest, {})
+            entry[f"{user_agent}|{int(require_explicit)}"] = [
+                int(result.level),
+                bool(result.explicit),
+                bool(result.explicit_allow),
+            ]
+            self._dirty = True
+
+    def get_flag(
+        self, kind: str, body_digest: str, key: str
+    ) -> Optional[bool]:
+        entry = self._flags[kind].get(body_digest)
+        return None if entry is None else entry.get(key)
+
+    def put_flag(self, kind: str, body_digest: str, key: str, value: bool) -> None:
+        with self._lock:
+            self._flags[kind].setdefault(body_digest, {})[key] = bool(value)
+            self._dirty = True
+
+    # -- experiment results ----------------------------------------------------
+
+    def lookup_experiment(self, key: str, input_key: str):
+        """``(disposition, result)`` for one experiment.
+
+        Dispositions: ``"hit"`` (stored under the same inputs; result
+        attached), ``"invalidated"`` (stored, but inputs changed), or
+        ``"miss"`` (never stored).
+        """
+        entry = self._experiments.get(key)
+        if entry is None:
+            return "miss", None
+        if entry.get("input_key") != input_key:
+            return "invalidated", None
+        payload = entry["result"]
+        from ..report.experiments import ExperimentResult
+
+        return "hit", ExperimentResult(
+            experiment_id=payload["experiment_id"],
+            title=payload["title"],
+            text=payload["text"],
+            metrics=dict(payload["metrics"]),
+        )
+
+    def record_experiment(self, key: str, input_key: str, result) -> None:
+        with self._lock:
+            self._experiments[key] = {
+                "input_key": input_key,
+                "result": {
+                    "experiment_id": result.experiment_id,
+                    "title": result.title,
+                    "text": result.text,
+                    "metrics": dict(result.metrics),
+                },
+            }
+            self._dirty = True
+
+    # -- introspection ---------------------------------------------------------
+
+    def body_entry_count(self) -> int:
+        """Distinct stored body verdicts across all families."""
+        return sum(len(rows) for rows in self._classifications.values()) + sum(
+            len(rows)
+            for kind in _FLAG_KINDS
+            for rows in self._flags[kind].values()
+        )
+
+    def experiment_count(self) -> int:
+        return len(self._experiments)

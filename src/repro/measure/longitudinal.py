@@ -36,7 +36,9 @@ from ..crawlers.commoncrawl import (
     Snapshot,
     SnapshotCrawler,
     SnapshotSpec,
+    carry_forward_snapshot,
 )
+from ..net import chaos
 from ..net.transport import Network
 from ..obs.metrics import metrics_enabled
 from ..obs.series import shared_series
@@ -47,6 +49,7 @@ from .cache import PolicyCache
 __all__ = [
     "SnapshotSeries",
     "collect_snapshots",
+    "delta_fetch_plan",
     "stable_with_robots",
     "full_disallow_trend",
     "per_agent_trend",
@@ -124,10 +127,51 @@ class SnapshotSeries:
         return list(counts.items())
 
 
+def delta_fetch_plan(
+    population: WebPopulation, specs: Sequence[SnapshotSpec]
+) -> List[List["SimSite"]]:
+    """Per-spec site subsets a delta crawl must actually refetch.
+
+    The first spec always fetches the full stable set; every later spec
+    fetches only the sites whose *served* robots state differs from the
+    previous spec's month (see
+    :meth:`~repro.web.site.SimSite.robots_changed_between`).  Records
+    for every other site carry forward unchanged: their handlers are
+    memoized per effective robots text and serving is
+    response-stateless, so refetching would reproduce the same record
+    byte for byte.  Blocking/proxy configuration is month-invariant in
+    this world model (it is not keyed by month anywhere), so robots
+    state is the only time-varying fetch input.
+
+    The plan depends only on the population's evolution schedules --
+    not on any fetched data -- so delta snapshots stay embarrassingly
+    parallel.
+    """
+    sites = list(population.stable)
+    plan: List[List[SimSite]] = []
+    previous: Optional[SnapshotSpec] = None
+    for spec in specs:
+        if previous is None:
+            plan.append(sites)
+        else:
+            plan.append(
+                [
+                    site
+                    for site in sites
+                    if site.robots_changed_between(
+                        previous.month_index, spec.month_index
+                    )
+                ]
+            )
+        previous = spec
+    return plan
+
+
 def collect_snapshots(
     population: WebPopulation,
     specs: Sequence[SnapshotSpec] = tuple(SNAPSHOT_SPECS),
     workers: Optional[int] = None,
+    delta: Optional[bool] = None,
 ) -> SnapshotSeries:
     """Run the snapshot crawler over the population's stable set.
 
@@ -140,29 +184,63 @@ def collect_snapshots(
             parallelize without shared mutable state; results are
             assembled in spec order, making the output bit-identical
             for any worker count (``None``/``1`` = sequential).
+        delta: Diff-aware collection: refetch only sites whose robots
+            state changed since the previous spec and carry every other
+            record forward (bit-identical output, O(changed) work).
+            ``None`` (the default) enables delta whenever it is sound:
+            more than one spec and no armed chaos plan.  An armed
+            :class:`~repro.net.chaos.FaultPlan` forces a full crawl even
+            when ``delta=True``, because injected faults break the
+            purity argument that makes carry-forward safe.
     """
     domains = [site.domain for site in population.stable]
     specs = list(specs)
+    # Chaos faults are month- and host-windowed at the *transport*
+    # layer, invisible to the evolution model the delta plan reads, so
+    # carried-forward records could mask injected errors.  Never delta
+    # under an armed plan.
+    use_delta = len(specs) > 1 and chaos.active_plan() is None
+    if delta is not None:
+        use_delta = use_delta and delta
+    plan = (
+        delta_fetch_plan(population, specs)
+        if use_delta
+        else [list(population.stable) for _ in specs]
+    )
 
-    def collect_one(spec: SnapshotSpec) -> Snapshot:
+    def collect_one(task: Tuple[SnapshotSpec, List["SimSite"]]) -> Snapshot:
+        spec, fetch_sites = task
         # The span carries both clocks: wall time plus the simulated
         # month the snapshot pertains to (the logical clock).
         with span(
             "collect_snapshot",
             logical=spec.month_index,
             snapshot=spec.snapshot_id,
-            n_domains=len(domains),
+            n_domains=len(fetch_sites),
         ):
             network = Network()
-            population.materialize(network, month=spec.month_index)
+            population.materialize(network, month=spec.month_index, sites=fetch_sites)
             crawler = SnapshotCrawler(network)
-            snapshot = crawler.snapshot(spec, domains)
+            snapshot = crawler.snapshot(spec, [site.domain for site in fetch_sites])
             network.publish_request_histogram()
-            return snapshot
+        if metrics_enabled():
+            # In a full crawl every site counts as refetched, so the
+            # series doubles as a live view of how much work delta
+            # collection avoids month over month.
+            shared_series().add(
+                "delta.sites_refetched", spec.month_index, len(fetch_sites)
+            )
+        return snapshot
 
-    with span("collect_snapshots", n_specs=len(specs), workers=workers or 1):
+    tasks = list(zip(specs, plan))
+    with span(
+        "collect_snapshots",
+        n_specs=len(specs),
+        workers=workers or 1,
+        delta=use_delta,
+    ):
         if workers is None or workers <= 1 or len(specs) <= 1:
-            snapshots = [collect_one(spec) for spec in specs]
+            snapshots = [collect_one(task) for task in tasks]
         else:
             with ThreadPoolExecutor(
                 max_workers=min(workers, len(specs)),
@@ -175,7 +253,20 @@ def collect_snapshots(
                 # executor.map preserves spec order regardless of
                 # completion order, so parallelism cannot reorder the
                 # series.
-                snapshots = list(pool.map(collect_one, specs))
+                snapshots = list(pool.map(collect_one, tasks))
+
+    if use_delta:
+        # Assemble full snapshots in spec order: each month's records
+        # dict lays down every stable domain in canonical order, taking
+        # the freshly fetched record when the site was in the plan and
+        # the previous assembled month's record otherwise.  Insertion
+        # order therefore matches a full crawl exactly.
+        assembled: List[Snapshot] = [snapshots[0]]
+        for fetched in snapshots[1:]:
+            assembled.append(
+                carry_forward_snapshot(fetched, assembled[-1], domains)
+            )
+        snapshots = assembled
 
     # Intern robots bodies across the whole series: fifteen snapshots of
     # a mostly-unchanged population collapse to one string per distinct
@@ -331,17 +422,6 @@ def allow_and_removal_trend(
     trend = AllowRemovalTrend()
     cache = series.cache
 
-    # Bodies repeat across snapshots (most sites never change), so the
-    # any-agent sweep runs once per distinct body, not once per month.
-    _allows_memo: Dict[str, bool] = {}
-
-    def allows_any(body: str) -> bool:
-        cached = _allows_memo.get(body)
-        if cached is None:
-            cached = any(cache.explicitly_allows(body, agent) for agent in agents)
-            _allows_memo[body] = cached
-        return cached
-
     previous_restricted: Set[str] = set()
     first = True
     for snapshot in series.snapshots:
@@ -350,10 +430,13 @@ def allow_and_removal_trend(
         removed_now = 0
         # Counting passes run over unique bodies; the restricted *set*
         # needs domain identities, so it walks the aligned body row.
+        # Bodies repeat across snapshots (most sites never change), so
+        # the any-agent sweep memoizes per distinct body inside the
+        # series' cache -- persistently, when a store is attached.
         for body, count in series.analysis_body_counts(snapshot):
             if body is None:
                 continue
-            if allows_any(body):
+            if cache.allows_any(body, agents):
                 allows += count
         bodies = series.analysis_bodies(snapshot)
         for domain, body in zip(series.analysis_domains, bodies):

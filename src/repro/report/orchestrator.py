@@ -55,8 +55,9 @@ from ..obs.trace import (
     tracing_enabled,
     write_trace,
 )
+from ..measure.incremental import IncrementalStore, experiment_input_key
 from ..web.population import PopulationConfig
-from ..web.worldstore import WorldStore, shared_world_store
+from ..web.worldstore import WorldStore, config_digest, shared_world_store
 from . import experiments as exp
 from .experiments import ExperimentResult, LongitudinalBundle
 
@@ -86,8 +87,14 @@ class ExperimentSpec:
         title: Short human-readable title.
         world: ``"bundle"``, ``"population"``, or ``"none"`` -- what
             the runner consumes.
-        run: The runner; receives the world (or nothing) and returns an
+        run: The runner; receives the world (or nothing) plus the
+            declared parameters as keyword arguments and returns an
             :class:`ExperimentResult`.
+        params: Declared ``(name, default)`` runner parameters.  These
+            are part of the experiment's incremental input key: editing
+            a parameter (via ``run_all(param_overrides=...)`` or
+            ``repro reproduce --set``) invalidates exactly this
+            experiment's cached result and no other.
     """
 
     key: str
@@ -95,13 +102,17 @@ class ExperimentSpec:
     title: str
     world: str
     run: Callable[..., ExperimentResult]
+    params: Tuple[Tuple[str, object], ...] = ()
 
 
 EXPERIMENT_REGISTRY: Tuple[ExperimentSpec, ...] = (
     ExperimentSpec("table1", "table1", "AI crawler compliance (Table 1)",
-                   WORLD_NONE, lambda: exp.run_table1_compliance()),
+                   WORLD_NONE, lambda **kw: exp.run_table1_compliance(**kw),
+                   params=(("seed", 42), ("months", 6), ("n_apps", 2000))),
     ExperimentSpec("figure2", "figure2", "Full-disallow trend (Figure 2)",
-                   WORLD_BUNDLE, exp.run_figure2),
+                   WORLD_BUNDLE,
+                   lambda bundle, **kw: exp.run_figure2(bundle, **kw),
+                   params=(("require_explicit", True),)),
     ExperimentSpec("figure3", "figure3", "Per-agent disallow trend (Figure 3)",
                    WORLD_BUNDLE, exp.run_figure3),
     ExperimentSpec("figure4", "figure4", "Explicit allows & removals (Figure 4)",
@@ -168,6 +179,11 @@ class RunReport:
         spans: Every span record produced by this run (world build,
             per-experiment, nested pipeline spans), in completion order.
             Exported as ``results/TRACE.jsonl``.
+        incremental: Per-experiment incremental disposition, empty for
+            non-incremental runs.  Values: ``"hit"`` (assembled from the
+            store), ``"run:first"`` (never cached), ``"run:invalidated"``
+            (inputs changed), ``"bypassed:chaos"`` (store refused while
+            a fault plan was armed).
     """
 
     results: List[ExperimentResult] = field(default_factory=list)
@@ -177,6 +193,7 @@ class RunReport:
     workers: int = 1
     mode: str = "serial"
     spans: List[Dict[str, object]] = field(default_factory=list)
+    incremental: Dict[str, str] = field(default_factory=dict)
 
     def result_for(self, key: str) -> ExperimentResult:
         """The result for registry *key* (KeyError if not run)."""
@@ -193,7 +210,7 @@ class RunReport:
         per-experiment seconds from the ``experiment:<key>`` spans,
         world/total from the ``world_build`` / ``run_all`` spans.
         """
-        return {
+        payload = {
             "schema_version": 1,
             "mode": self.mode,
             "workers": self.workers,
@@ -211,6 +228,9 @@ class RunReport:
                 if spec.key in self.timings_seconds
             ],
         }
+        if self.incremental:
+            payload["incremental"] = dict(self.incremental)
+        return payload
 
     def to_json(self) -> Dict[str, object]:
         """Alias of :meth:`to_timings` (the historical payload name)."""
@@ -264,6 +284,7 @@ class _RunContext:
     store: WorldStore
     bundle: Optional[LongitudinalBundle]
     ship: bool = False
+    param_overrides: Dict[str, Dict[str, object]] = field(default_factory=dict)
 
 
 #: Set by :func:`run_all` before any pool spawns so fork-based workers
@@ -296,23 +317,50 @@ def _execute_experiment(key: str) -> _Outcome:
     mark = tracer.record_count() if context.ship else 0
     # Distinct span names per experiment keep root ids deterministic
     # even when parallel workers race on the occurrence counters.
+    params = dict(spec.params)
+    params.update(context.param_overrides.get(key, {}))
     exp_span = span(f"experiment:{key}", key=key, world=spec.world)
     with exp_span:
         if spec.world == WORLD_BUNDLE:
-            result = spec.run(context.bundle)
+            result = spec.run(context.bundle, **params)
         elif spec.world == WORLD_POPULATION:
             # Every population runner gets its own copy-on-write view:
             # its mutations (handler registration, attribute edits) live
             # and die with the view, never in a sibling's world.
-            result = spec.run(context.store.population_view(context.config))
+            result = spec.run(
+                context.store.population_view(context.config), **params
+            )
         else:
-            result = spec.run()
+            result = spec.run(**params)
     seconds = getattr(exp_span, "duration_seconds", 0.0)
     if not context.ship:
         return key, seconds, result, None, None, []
     delta = snapshot_delta(registry.snapshot(), before)
     sdelta = series_delta(series.snapshot(), series_before)
     return key, seconds, result, delta, sdelta, tracer.records_since(mark)
+
+
+def _validated_overrides(
+    param_overrides: Optional[Dict[str, Dict[str, object]]],
+) -> Dict[str, Dict[str, object]]:
+    """Check override keys against the registry's declared parameters."""
+    if not param_overrides:
+        return {}
+    validated: Dict[str, Dict[str, object]] = {}
+    for key, edits in param_overrides.items():
+        spec = _BY_KEY.get(key)
+        if spec is None:
+            raise KeyError(f"unknown experiment key in param_overrides: {key!r}")
+        declared = {name for name, _ in spec.params}
+        unknown = sorted(set(edits) - declared)
+        if unknown:
+            raise ValueError(
+                f"experiment {key!r} declares no parameter(s) "
+                f"{', '.join(map(repr, unknown))}; declared: "
+                f"{sorted(declared) or 'none'}"
+            )
+        validated[key] = dict(edits)
+    return validated
 
 
 def _resolve_mode(mode: str, workers: int) -> str:
@@ -337,6 +385,8 @@ def run_all(
     telemetry_dir: Optional[Union[str, Path]] = None,
     fault_plan: Optional[Union["_chaos.FaultPlan", str]] = None,
     chaos_seed: int = 0,
+    incremental: Union[None, bool, str, Path, IncrementalStore] = None,
+    param_overrides: Optional[Dict[str, Dict[str, object]]] = None,
 ) -> RunReport:
     """Run the experiment battery over one shared world.
 
@@ -372,12 +422,29 @@ def run_all(
             versa), a chaos run refuses the process-shared store unless
             an explicit *store* is passed.
         chaos_seed: Seed for the fault plan's host sampling.
+        incremental: Persistent O(changed) recomputation.  ``True``
+            uses ``.repro-cache/`` under the working directory; a
+            path or an :class:`~repro.measure.incremental.IncrementalStore`
+            uses that store.  Each experiment is keyed on its config
+            digest, world kind, and declared parameters: unchanged
+            experiments are assembled from the store without building
+            their world, changed ones re-run and overwrite their entry.
+            Armed chaos (via *fault_plan* or an externally activated
+            plan) bypasses the store entirely -- it is neither read nor
+            written -- so injected faults can never leak into warm
+            artifacts.
+        param_overrides: ``{experiment_key: {param: value}}`` edits to
+            declared :attr:`ExperimentSpec.params`.  Overrides feed both
+            the runner call and the incremental input key, so editing
+            one experiment's parameter invalidates exactly that
+            experiment.
 
     Returns:
         A :class:`RunReport` with results in registry order, the
         span-derived timing trajectory, and the run's span records.
     """
     global _WORKER_CONTEXT
+    chaos_preactivated = _chaos.active_plan() is not None
     if fault_plan is not None:
         if isinstance(fault_plan, str):
             fault_plan = _chaos.plan(fault_plan)
@@ -389,13 +456,66 @@ def run_all(
     unknown = [k for k in keys if k not in _BY_KEY]
     if unknown:
         raise KeyError(f"unknown experiment key(s): {', '.join(unknown)}")
-    specs = [_BY_KEY[k] for k in keys]
     ordered = [spec.key for spec in EXPERIMENT_REGISTRY if spec.key in set(keys)]
 
-    n_workers = max(1, workers or 1)
-    resolved = _resolve_mode(mode, min(n_workers, len(ordered)))
+    overrides = _validated_overrides(param_overrides)
 
     registry = shared_registry()
+
+    # -- incremental decisions (parent-side, pre-fork: identical for
+    # every mode/worker combination, so the counters stay inside the
+    # cross-mode determinism contract) -----------------------------------
+    inc: Optional[IncrementalStore] = None
+    dispositions: Dict[str, str] = {}
+    cached_results: Dict[str, ExperimentResult] = {}
+    input_keys: Dict[str, str] = {}
+    to_run = list(ordered)
+    if incremental not in (None, False):
+        if fault_plan is not None or chaos_preactivated:
+            # A faulted world must never touch the store: no reads (a
+            # warm result would mask the faults the run exists to
+            # observe) and no writes (faulted results would poison
+            # clean runs).
+            dispositions = {key: "bypassed:chaos" for key in ordered}
+        else:
+            if isinstance(incremental, IncrementalStore):
+                inc = incremental
+            elif incremental is True:
+                inc = IncrementalStore(Path(".repro-cache"))
+            else:
+                inc = IncrementalStore(Path(incremental))
+            world_digest = config_digest(config)
+            to_run = []
+            tally = {"hit": 0, "miss": 0, "invalidated": 0}
+            for key in ordered:
+                spec = _BY_KEY[key]
+                params = dict(spec.params)
+                params.update(overrides.get(key, {}))
+                input_keys[key] = experiment_input_key(
+                    spec.key,
+                    spec.result_id,
+                    spec.world,
+                    world_digest if spec.world != WORLD_NONE else "-",
+                    tuple(sorted(params.items())),
+                )
+                disposition, result = inc.lookup_experiment(key, input_keys[key])
+                tally[disposition] += 1
+                if disposition == "hit":
+                    cached_results[key] = result
+                    dispositions[key] = "hit"
+                else:
+                    to_run.append(key)
+                    dispositions[key] = (
+                        "run:first" if disposition == "miss" else "run:invalidated"
+                    )
+            registry.counter("incremental.hits").inc(tally["hit"])
+            registry.counter("incremental.misses").inc(tally["miss"])
+            registry.counter("incremental.invalidations").inc(tally["invalidated"])
+
+    specs = [_BY_KEY[k] for k in to_run]
+    n_workers = max(1, workers or 1)
+    resolved = _resolve_mode(mode, min(n_workers, len(to_run)))
+
     tracer = shared_tracer()
     was_tracing = tracing_enabled()
     set_tracing_enabled(True)
@@ -412,6 +532,9 @@ def run_all(
             "run_all", mode=resolved, workers=n_workers, n_experiments=len(ordered)
         )
         with total_span:
+            # Worlds are built only for experiments that actually run:
+            # a fully warm incremental battery skips the bundle build
+            # outright -- that skip is most of the warm-run speedup.
             needs_bundle = any(spec.world == WORLD_BUNDLE for spec in specs)
             needs_population = any(spec.world == WORLD_POPULATION for spec in specs)
             world_kind = (
@@ -427,22 +550,32 @@ def run_all(
                     )
                 elif needs_population:
                     store.population(config)  # warm the substrate up front
+            if inc is not None and bundle is not None:
+                # Back the series' classification memo with the
+                # persistent store: invalidated re-runs skip body
+                # verdicts earlier runs already computed.  Detached in
+                # the finally below so non-incremental runs over the
+                # same cached bundle never touch the store.
+                bundle.series.cache.attach_store(inc)
 
             _WORKER_CONTEXT = _RunContext(
                 config=config,
                 store=store,
                 bundle=bundle,
                 ship=(resolved == "process"),
+                param_overrides=overrides,
             )
             try:
-                if resolved == "serial":
-                    outcomes = [_execute_experiment(key) for key in ordered]
+                if not to_run:
+                    outcomes = []
+                elif resolved == "serial":
+                    outcomes = [_execute_experiment(key) for key in to_run]
                 elif resolved == "process":
                     context = multiprocessing.get_context("fork")
                     with ProcessPoolExecutor(
                         max_workers=n_workers, mp_context=context
                     ) as pool:
-                        outcomes = list(pool.map(_execute_experiment, ordered))
+                        outcomes = list(pool.map(_execute_experiment, to_run))
                 else:
                     live_root = total_span if hasattr(total_span, "span_id") else None
                     with ThreadPoolExecutor(
@@ -456,7 +589,7 @@ def run_all(
                         # map preserves submission order regardless of
                         # completion order, so parallelism cannot reorder
                         # or interleave the assembled report.
-                        outcomes = list(pool.map(_execute_experiment, ordered))
+                        outcomes = list(pool.map(_execute_experiment, to_run))
             finally:
                 _WORKER_CONTEXT = None
 
@@ -471,6 +604,8 @@ def run_all(
                     tracer.absorb(shipped_spans)
     finally:
         set_tracing_enabled(was_tracing)
+        if inc is not None and bundle is not None:
+            bundle.series.cache.attach_store(None)
         if fault_plan is not None:
             if previous_chaos is None:
                 _chaos.deactivate()
@@ -481,12 +616,27 @@ def run_all(
         workers=n_workers,
         mode=resolved,
         world_seconds=getattr(world_span, "duration_seconds", 0.0),
+        incremental=dispositions,
     )
+    executed: Dict[str, Tuple[float, ExperimentResult]] = {}
     for key, seconds, result, _, _, _ in outcomes:
+        executed[key] = (seconds, result)
+    # Assemble in registry order, interleaving freshly executed results
+    # with store hits -- indistinguishable downstream from a full run.
+    for key in ordered:
+        if key in executed:
+            seconds, result = executed[key]
+        else:
+            seconds, result = 0.0, cached_results[key]
         report.timings_seconds[key] = seconds
         report.results.append(result)
     report.total_seconds = getattr(total_span, "duration_seconds", 0.0)
     report.spans = tracer.records_since(run_mark)
+
+    if inc is not None:
+        for key in to_run:
+            inc.record_experiment(key, input_keys[key], executed[key][1])
+        inc.flush()
 
     if telemetry_dir is not None:
         # Shared-cache tallies are point-in-time, scheduling-dependent

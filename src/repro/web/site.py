@@ -205,6 +205,20 @@ class SimSite:
         memo[month] = text
         return text
 
+    def robots_changed_between(self, earlier: int, later: int) -> bool:
+        """Whether the *served* robots.txt differs between two months.
+
+        This is the delta predicate behind incremental snapshot
+        collection: a site whose effective robots.txt (including
+        missing-month unavailability) is identical at both months will
+        produce a byte-identical snapshot record, because handlers are
+        memoized per effective robots text (see :meth:`build_handler`)
+        and serving is response-stateless.  Comparisons reuse the
+        ``robots_at`` memos, so a whole-population delta plan costs one
+        bisect per (site, month) at most once.
+        """
+        return self.robots_at(later) != self.robots_at(earlier)
+
     def set_robots(self, month: int, text: Optional[str]) -> None:
         """Record a robots.txt change landing at *month*."""
         schedule = [(m, t) for m, t in self.robots_schedule if m != month]

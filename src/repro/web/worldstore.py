@@ -154,21 +154,6 @@ class WorldStore:
             "worldstore.series", store=store_id, event="miss"
         )
 
-    @property
-    def stats(self) -> Dict[str, int]:
-        """Deprecated: the pre-``repro.obs`` ad-hoc stats dict.
-
-        Kept for compatibility; the counters now live on the metrics
-        registry (``worldstore.population`` / ``worldstore.series``
-        with ``event=hit|miss`` labels).  A "build" is a cache miss.
-        """
-        return {
-            "population_builds": self._population_misses.value,
-            "population_hits": self._population_hits.value,
-            "series_builds": self._series_misses.value,
-            "series_hits": self._series_hits.value,
-        }
-
     # -- worlds ---------------------------------------------------------------
 
     def population(self, config: Optional[PopulationConfig] = None) -> WebPopulation:

@@ -1,0 +1,156 @@
+"""Orchestrator-level incremental recomputation.
+
+The contract under test: a warm ``run_all(incremental=...)`` is
+byte-identical to a cold full run across every scheduling mode and
+worker count; a one-parameter edit invalidates exactly one experiment;
+and chaos runs never read or write the store.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.measure.incremental import IncrementalStore
+from repro.net.chaos import plan
+from repro.obs.metrics import shared_registry
+from repro.report.orchestrator import run_all
+from repro.web.population import PopulationConfig
+from repro.web.worldstore import WorldStore
+
+SMALL = PopulationConfig(
+    universe_size=500, list_size=300, top5k_cut=40, audit_size=90, seed=7
+)
+
+#: Covers all three world kinds: none (table1), bundle (figure2,
+#: taxonomy), population (sec62).
+SLICE = ["table1", "figure2", "sec62", "taxonomy"]
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+def _texts(report):
+    return [(r.experiment_id, r.text, sorted(r.metrics.items()))
+            for r in report.results]
+
+
+@pytest.fixture(scope="module")
+def warm_store(tmp_path_factory):
+    """A store populated by one cold incremental run, plus the cold texts."""
+    root = tmp_path_factory.mktemp("inc") / "cache"
+    cold = run_all(
+        SMALL, workers=1, experiments=SLICE, store=WorldStore(), incremental=root
+    )
+    assert all(v == "run:first" for v in cold.incremental.values())
+    return root, _texts(cold)
+
+
+class TestWarmEquivalence:
+    def test_warm_serial_run_is_byte_identical(self, warm_store):
+        root, cold_texts = warm_store
+        warm = run_all(
+            SMALL, workers=1, experiments=SLICE, store=WorldStore(),
+            incremental=root,
+        )
+        assert all(v == "hit" for v in warm.incremental.values())
+        assert _texts(warm) == cold_texts
+        # Fully warm: no world was built.
+        assert warm.world_seconds < 0.05
+
+    @pytest.mark.parametrize(
+        "mode,workers",
+        [("thread", 2), ("thread", 5)]
+        + ([("process", 3)] if HAS_FORK else []),
+    )
+    def test_warm_runs_match_across_modes_and_workers(
+        self, warm_store, mode, workers
+    ):
+        root, cold_texts = warm_store
+        report = run_all(
+            SMALL, workers=workers, experiments=SLICE, store=WorldStore(),
+            mode=mode, incremental=root,
+        )
+        assert _texts(report) == cold_texts
+
+    def test_cold_incremental_matches_plain_run(self, tmp_path):
+        plain = run_all(SMALL, workers=1, experiments=["figure2"],
+                        store=WorldStore())
+        cold = run_all(SMALL, workers=1, experiments=["figure2"],
+                       store=WorldStore(), incremental=tmp_path / "cache")
+        assert _texts(cold) == _texts(plain)
+
+    def test_counters_record_decisions(self, warm_store):
+        root, _ = warm_store
+        registry = shared_registry()
+        before = registry.counter_value("incremental.hits")
+        run_all(SMALL, workers=1, experiments=SLICE, store=WorldStore(),
+                incremental=root)
+        assert registry.counter_value("incremental.hits") - before == len(SLICE)
+
+
+class TestInvalidation:
+    def test_param_edit_invalidates_exactly_one(self, warm_store):
+        root, cold_texts = warm_store
+        edited = run_all(
+            SMALL, workers=1, experiments=SLICE, store=WorldStore(),
+            incremental=root, param_overrides={"table1": {"months": 4}},
+        )
+        assert edited.incremental["table1"] == "run:invalidated"
+        others = {k: v for k, v in edited.incremental.items() if k != "table1"}
+        assert all(v == "hit" for v in others.values())
+        # Revert: table1 re-runs under defaults and matches the cold run.
+        reverted = run_all(
+            SMALL, workers=1, experiments=SLICE, store=WorldStore(),
+            incremental=root,
+        )
+        assert reverted.incremental["table1"] == "run:invalidated"
+        assert _texts(reverted) == cold_texts
+
+    def test_config_change_invalidates_world_experiments(self, warm_store):
+        root, _ = warm_store
+        other = PopulationConfig(
+            universe_size=500, list_size=300, top5k_cut=40, audit_size=90,
+            seed=8,
+        )
+        report = run_all(
+            other, workers=1, experiments=SLICE, store=WorldStore(),
+            incremental=root,
+        )
+        # World-dependent experiments see a new config digest; the
+        # world-free table1 is keyed config-independently and hits.
+        assert report.incremental["table1"] == "hit"
+        for key in ("figure2", "sec62", "taxonomy"):
+            assert report.incremental[key] == "run:invalidated"
+
+    def test_unknown_override_key_raises(self, tmp_path):
+        with pytest.raises(KeyError):
+            run_all(SMALL, experiments=["table1"], store=WorldStore(),
+                    param_overrides={"nope": {"x": 1}})
+        with pytest.raises(ValueError):
+            run_all(SMALL, experiments=["table1"], store=WorldStore(),
+                    param_overrides={"table1": {"not_a_param": 1}})
+
+
+class TestChaosIsolation:
+    def test_chaos_run_never_touches_the_store(self, warm_store):
+        root, cold_texts = warm_store
+        store = IncrementalStore(root)
+        before = (
+            store.experiments_path.read_bytes(),
+            store.bodies_path.read_bytes(),
+        )
+        report = run_all(
+            SMALL, workers=1, experiments=SLICE, store=WorldStore(),
+            incremental=root, fault_plan=plan("flaky-resets"),
+        )
+        assert all(v == "bypassed:chaos" for v in report.incremental.values())
+        after = (
+            store.experiments_path.read_bytes(),
+            store.bodies_path.read_bytes(),
+        )
+        assert after == before
+        # And the bypass didn't corrupt warm behavior afterwards.
+        warm = run_all(
+            SMALL, workers=1, experiments=SLICE, store=WorldStore(),
+            incremental=root,
+        )
+        assert _texts(warm) == cold_texts

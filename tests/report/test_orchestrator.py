@@ -246,6 +246,10 @@ class TestRunOne:
 
     def test_standalone_experiment_needs_no_world(self):
         # A fresh store stays empty: table1 must not trigger a build.
-        store = WorldStore()
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        store = WorldStore(registry=registry)
         run_one("table1", config=SMALL, store=store)
-        assert store.stats["population_builds"] == 0
+        totals = registry.counter_totals("worldstore.population")
+        assert sum(v for k, v in totals.items() if "event=miss" in k) == 0

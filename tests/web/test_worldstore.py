@@ -64,12 +64,17 @@ class TestConfigDigest:
 
 
 class TestStoreCaching:
-    def test_population_cache_hit_returns_same_object(self, store):
-        first = store.population(SMALL)
-        second = store.population(SMALL)
+    def test_population_cache_hit_returns_same_object(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        private = WorldStore(registry=registry)
+        first = private.population(SMALL)
+        second = private.population(SMALL)
         assert first is second
-        assert store.stats["population_builds"] == 1
-        assert store.stats["population_hits"] >= 1
+        totals = registry.counter_totals("worldstore.population")
+        assert sum(v for k, v in totals.items() if "event=miss" in k) == 1
+        assert sum(v for k, v in totals.items() if "event=hit" in k) >= 1
 
     def test_equal_config_different_instance_still_hits(self, store):
         again = dataclasses.replace(SMALL)
