@@ -32,6 +32,7 @@ RESULTS = REPO / "benchmarks" / "output" / "BENCH_RESULTS.json"
 OBS_OVERHEAD = REPO / "benchmarks" / "output" / "OBS_OVERHEAD.json"
 CHAOS_OVERHEAD = REPO / "benchmarks" / "output" / "CHAOS_OVERHEAD.json"
 INCREMENTAL = REPO / "benchmarks" / "output" / "INCREMENTAL.json"
+SCALE = REPO / "benchmarks" / "output" / "SCALE.json"
 
 #: Telemetry's disabled fast path may imply at most this much slowdown
 #: on the Figure 2 pipeline (percent; see bench_obs_overhead.py).
@@ -159,7 +160,8 @@ def main() -> int:
     obs_ok = _check_obs_overhead()
     chaos_ok = _check_chaos_overhead()
     incremental_ok = _check_incremental()
-    overhead_ok = obs_ok and chaos_ok and incremental_ok
+    scale_ok = _check_scale()
+    overhead_ok = obs_ok and chaos_ok and incremental_ok and scale_ok
 
     if regressions:
         print(f"\n{len(regressions)} bench(es) regressed more than "
@@ -214,6 +216,45 @@ def _check_incremental() -> bool:
         print("  <-- UNDER FLOOR")
         return False
     return True
+
+
+def _check_scale() -> bool:
+    """Gate the strata scale budgets from SCALE.json.
+
+    The memory-flatness ratio is always enforced; the shard-crawl
+    worker-efficiency floor only when the recording host had enough
+    cores for parallel speedup to be physically possible.
+    """
+    if not SCALE.exists():
+        return True  # bench deselected this run; nothing to check
+    try:
+        payload = json.loads(SCALE.read_text())
+    except (ValueError, OSError):
+        print(f"warning: unreadable {SCALE}")
+        return True
+    ratio = payload.get("memory_ratio")
+    if ratio is None:
+        return True
+    budget = payload.get("memory_budget_ratio", 2.0)
+    efficiency = payload.get("worker_efficiency")
+    floor = payload.get("efficiency_floor", 0.7)
+    workers = payload.get("efficiency_workers", 4)
+    cpu_count = payload.get("cpu_count", 1)
+    print(f"\n== strata scale ==\n  streaming aggregation memory "
+          f"top-100k/top-10k: {ratio:.2f}x (budget {budget:.1f}x)")
+    ok = True
+    if ratio > budget:
+        print("  <-- OVER BUDGET")
+        ok = False
+    if efficiency is not None:
+        gated = cpu_count >= workers
+        note = "" if gated else f"; not gated on {cpu_count} cpu(s)"
+        print(f"  shard-crawl efficiency at {workers} workers: "
+              f"{efficiency:.2f} (floor {floor}{note})")
+        if gated and efficiency < floor:
+            print("  <-- UNDER FLOOR")
+            ok = False
+    return ok
 
 
 def _check_chaos_overhead() -> bool:

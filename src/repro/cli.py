@@ -41,6 +41,10 @@ EXPERIMENT_IDS = [
     "tables9_12", "crosstabs", "taxonomy", "category",
 ]
 
+#: Named population strata (mirrors repro.web.tranco.STRATUM_SIZES,
+#: spelled out for the same lightweight-argparse reason).
+STRATUM_IDS = ["top-1k", "top-10k", "top-100k", "top-1m"]
+
 
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree for the ``repro`` tool."""
@@ -112,6 +116,19 @@ def build_parser() -> argparse.ArgumentParser:
                            help="override a declared experiment parameter "
                                 "(e.g. --set table1.months=4); invalidates "
                                 "exactly that experiment's cached result")
+    reproduce.add_argument("--strata", nargs="+", metavar="STRATUM",
+                           choices=STRATUM_IDS, default=None,
+                           help="run the streaming figure battery over these "
+                                "population strata (sharded columnar archives) "
+                                "instead of the registry battery")
+    reproduce.add_argument("--shards", type=int, default=0,
+                           help="shard count for strata archives "
+                                "(0 = sized automatically)")
+    reproduce.add_argument("--archive-dir", metavar="DIR",
+                           default=".repro-archives",
+                           help="per-stratum archive root for --strata "
+                                "(default: .repro-archives); matching "
+                                "archives are reopened without re-crawling")
 
     chaos_cmd = sub.add_parser(
         "chaos",
@@ -315,8 +332,14 @@ _DISPOSITION_NOTES = {
 
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     from .report.orchestrator import run_all
+    from .web.archive import ArchiveError
 
     incremental = args.incremental or args.explain_invalidation
+    if args.strata and (incremental or args.only or args.param_edits):
+        print("repro reproduce: --strata runs the streaming archive battery "
+              "and cannot combine with --only/--incremental/--set",
+              file=sys.stderr)
+        return 2
     try:
         param_overrides = (
             _parse_param_edits(args.param_edits) if args.param_edits else None
@@ -334,7 +357,15 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
             telemetry_dir=args.telemetry_dir,
             incremental=args.incremental_dir if incremental else None,
             param_overrides=param_overrides,
+            strata=args.strata,
+            shards=args.shards,
+            archive_dir=args.archive_dir,
         )
+    except ArchiveError as exc:
+        # Archive problems (truncation, digest mismatch, missing shards)
+        # surface as one operator-facing line, never a traceback.
+        print(f"repro reproduce: {exc}", file=sys.stderr)
+        return 2
     except (KeyError, ValueError) as exc:
         print(f"repro reproduce: {exc}", file=sys.stderr)
         return 2
@@ -537,6 +568,44 @@ def _print_cache_effectiveness(payload) -> None:
         print(f"  body verdicts: {persistent:.0f} persistent hits")
 
 
+def _parse_rendered_labels(key: str, prefix: str) -> dict:
+    """``name{a=1,b=x}`` -> ``{"a": "1", "b": "x"}`` for *prefix* keys."""
+    body = key[len(prefix) + 1 : -1]
+    return dict(part.split("=", 1) for part in body.split(",") if "=" in part)
+
+
+def _print_shard_balance(payload) -> None:
+    """Per-shard site balance and archive volume, when a run sharded.
+
+    Reads the ``shard.sites{shard=...,stage=...}`` counters (one per
+    shard per pipeline stage) and the ``archive.bytes_written`` family
+    out of a METRICS.json payload.  Silent when the run never sharded.
+    """
+    counters = payload.get("counters", {})
+    stages: dict = {}
+    for key, total in counters.items():
+        if key.startswith("shard.sites{"):
+            labels = _parse_rendered_labels(key, "shard.sites")
+            stage = labels.get("stage", "?")
+            stages.setdefault(stage, {})[int(labels.get("shard", -1))] = total
+    archive_bytes = sum(
+        total for key, total in counters.items()
+        if key == "archive.bytes_written" or key.startswith("archive.bytes_written{")
+    )
+    if not stages and not archive_bytes:
+        return
+    print("\nshard balance:")
+    for stage in sorted(stages):
+        sites = [stages[stage][shard] for shard in sorted(stages[stage])]
+        total = sum(sites)
+        mean = total / len(sites) if sites else 0.0
+        skew = max(sites) / mean if mean else 0.0
+        print(f"  {stage}: {total} sites over {len(sites)} shard(s), "
+              f"peak {max(sites)} ({skew:.2f}x mean)")
+    if archive_bytes:
+        print(f"  archive: {archive_bytes} bytes written")
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -566,6 +635,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             payload = load_metrics(metrics_path)
             _print_metrics_tables(payload, str(metrics_path), args.section)
             _print_cache_effectiveness(payload)
+            _print_shard_balance(payload)
             return 0
 
         records = load_trace(trace_path)
@@ -632,6 +702,12 @@ def _cmd_dashboard(args: argparse.Namespace) -> int:
         table_rows.append(tuple(row))
     headers = ["agent"] + [month_label(m) if m >= 0 else "?" for m in months]
     print(render_table(headers, table_rows))
+    try:
+        from .obs.analyze import load_metrics
+
+        _print_shard_balance(load_metrics(Path(args.telemetry) / "METRICS.json"))
+    except TelemetryError:
+        pass  # a series-only telemetry dir is still a valid dashboard
     return 0
 
 

@@ -25,14 +25,17 @@ outputs are bit-identical to the per-domain re-parsing formulation.
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..agents.darkvisitors import AI_USER_AGENT_TOKENS
 from ..core.classify import RestrictionLevel
 from ..crawlers.commoncrawl import (
     SNAPSHOT_SPECS,
+    SiteRecord,
     Snapshot,
     SnapshotCrawler,
     SnapshotSpec,
@@ -40,15 +43,24 @@ from ..crawlers.commoncrawl import (
 )
 from ..net import chaos
 from ..net.transport import Network
-from ..obs.metrics import metrics_enabled
+from ..obs.metrics import metrics_enabled, shared_registry, snapshot_delta
 from ..obs.series import shared_series
+from ..obs.series import snapshot_delta as series_delta
 from ..obs.trace import adopt_current_span, current_span, span
+from ..web.archive import ShardWriter, merge_error_budgets
 from ..web.population import WebPopulation
+from ..web.sharding import (
+    partition_domains,
+    record_shard_balance,
+    resolve_shard_mode,
+    shard_count_for,
+)
 from .cache import PolicyCache
 
 __all__ = [
     "SnapshotSeries",
     "collect_snapshots",
+    "collect_shard_archives",
     "delta_fetch_plan",
     "stable_with_robots",
     "full_disallow_trend",
@@ -147,12 +159,25 @@ def delta_fetch_plan(
     not on any fetched data -- so delta snapshots stay embarrassingly
     parallel.
     """
-    sites = list(population.stable)
+    return _site_fetch_plan(list(population.stable), specs, use_delta=True)
+
+
+def _site_fetch_plan(
+    sites: List["SimSite"], specs: Sequence[SnapshotSpec], use_delta: bool
+) -> List[List["SimSite"]]:
+    """Per-spec fetch subsets for *sites* (the shard-local delta plan).
+
+    The plan is a pure per-site filter, so partitioning sites into
+    shards and planning per shard yields exactly the global plan,
+    partitioned.
+    """
+    if not use_delta:
+        return [list(sites) for _ in specs]
     plan: List[List[SimSite]] = []
     previous: Optional[SnapshotSpec] = None
     for spec in specs:
         if previous is None:
-            plan.append(sites)
+            plan.append(list(sites))
         else:
             plan.append(
                 [
@@ -167,11 +192,25 @@ def delta_fetch_plan(
     return plan
 
 
+def _use_delta(specs: Sequence[SnapshotSpec], delta: Optional[bool]) -> bool:
+    """Whether delta collection is sound (and wanted) for this crawl."""
+    # Chaos faults are month- and host-windowed at the *transport*
+    # layer, invisible to the evolution model the delta plan reads, so
+    # carried-forward records could mask injected errors.  Never delta
+    # under an armed plan.
+    use = len(specs) > 1 and chaos.active_plan() is None
+    if delta is not None:
+        use = use and delta
+    return use
+
+
 def collect_snapshots(
     population: WebPopulation,
     specs: Sequence[SnapshotSpec] = tuple(SNAPSHOT_SPECS),
     workers: Optional[int] = None,
     delta: Optional[bool] = None,
+    shards: Optional[int] = None,
+    mode: str = "auto",
 ) -> SnapshotSeries:
     """Run the snapshot crawler over the population's stable set.
 
@@ -192,16 +231,24 @@ def collect_snapshots(
             :class:`~repro.net.chaos.FaultPlan` forces a full crawl even
             when ``delta=True``, because injected faults break the
             purity argument that makes carry-forward safe.
+        shards: Switch to shard-partitioned collection: sites are
+            partitioned by :func:`repro.web.sharding.shard_of` and each
+            worker crawls *every* spec for one shard (``0`` sizes the
+            shard count automatically, ``None`` keeps the classic
+            spec-parallel path).  Every record is a pure function of
+            ``(site, month)``, so any shards x workers x mode
+            combination assembles a byte-identical series.
+        mode: Sharded execution mode (``"auto"``/``"serial"``/
+            ``"thread"``/``"process"``); ignored on the classic path.
     """
-    domains = [site.domain for site in population.stable]
     specs = list(specs)
-    # Chaos faults are month- and host-windowed at the *transport*
-    # layer, invisible to the evolution model the delta plan reads, so
-    # carried-forward records could mask injected errors.  Never delta
-    # under an armed plan.
-    use_delta = len(specs) > 1 and chaos.active_plan() is None
-    if delta is not None:
-        use_delta = use_delta and delta
+    if shards is not None:
+        return _collect_sharded(
+            population, specs, workers=workers, delta=delta,
+            shards=shards, mode=mode,
+        )
+    domains = [site.domain for site in population.stable]
+    use_delta = _use_delta(specs, delta)
     plan = (
         delta_fetch_plan(population, specs)
         if use_delta
@@ -279,6 +326,253 @@ def collect_snapshots(
     return SnapshotSeries(
         snapshots=snapshots, stable_domains=domains, analysis_domains=analysis
     )
+
+
+#: Ambient state for sharded collection workers: ``(population, specs,
+#: parts, use_delta, ship_telemetry, keep_records, archive)`` where
+#: *archive* is ``None`` or ``(root, n_shards, config_digest)``.  Set by
+#: :func:`_run_shard_collection` before a fork pool spawns so children
+#: inherit the population instead of re-pickling it per shard.
+_COLLECT_CONTEXT: Optional[tuple] = None
+
+
+def _crawl_shard(
+    population: WebPopulation,
+    specs: Sequence[SnapshotSpec],
+    sites: List["SimSite"],
+    use_delta: bool,
+) -> List[Snapshot]:
+    """Crawl every spec for one shard's sites (full per-shard snapshots).
+
+    The engine is the classic collection loop restricted to a site
+    subset: per-spec fetch plan, a fresh :class:`Network` per spec,
+    shard-local carry-forward.  Because every record is a pure function
+    of ``(site, month)`` -- chaos faults included, they key on
+    ``(rule, host)`` counters -- the union of shard crawls equals an
+    unsharded crawl record for record.
+    """
+    domains = [site.domain for site in sites]
+    plan = _site_fetch_plan(sites, specs, use_delta)
+    snapshots: List[Snapshot] = []
+    for spec, fetch_sites in zip(specs, plan):
+        with span(
+            "collect_snapshot",
+            logical=spec.month_index,
+            snapshot=spec.snapshot_id,
+            n_domains=len(fetch_sites),
+        ):
+            network = Network()
+            population.materialize(
+                network, month=spec.month_index, sites=fetch_sites
+            )
+            crawler = SnapshotCrawler(network)
+            snapshot = crawler.snapshot(
+                spec, [site.domain for site in fetch_sites]
+            )
+            network.publish_request_histogram()
+        if metrics_enabled():
+            # Per-shard refetch counts sum into the same per-month
+            # series points, so sharded totals match unsharded ones.
+            shared_series().add(
+                "delta.sites_refetched", spec.month_index, len(fetch_sites)
+            )
+        snapshots.append(snapshot)
+    if use_delta:
+        assembled = [snapshots[0]]
+        for fetched in snapshots[1:]:
+            assembled.append(
+                carry_forward_snapshot(fetched, assembled[-1], domains)
+            )
+        snapshots = assembled
+    return snapshots
+
+
+def _collect_shard(index: int):
+    """Worker entry: crawl shard *index* against the ambient context.
+
+    Returns ``(snapshots_or_budgets, metrics_delta, series_delta)``.
+    In process mode the worker ships its telemetry delta (the fork
+    child's registry is a copy); with ``keep_records=False`` (archive
+    mode) only the per-spec error budgets travel back, not the records.
+    """
+    context = _COLLECT_CONTEXT
+    assert context is not None, "sharded collection must set the context"
+    population, specs, parts, use_delta, ship, keep_records, archive = context
+    registry = shared_registry()
+    series = shared_series()
+    if ship:
+        before = registry.snapshot()
+        series_before = series.snapshot()
+    snapshots = _crawl_shard(population, specs, parts[index], use_delta)
+    if archive is not None:
+        root, n_shards, config_digest = archive
+        sites = parts[index]
+        writer = ShardWriter(root, index, n_shards, config_digest)
+        writer.set_sites(
+            [site.domain for site in sites],
+            [site.rank for site in sites],
+            [site.tier for site in sites],
+        )
+        for snapshot in snapshots:
+            writer.add_snapshot(
+                snapshot.spec, snapshot.records, snapshot.error_budget
+            )
+        writer.commit()
+    payload = (
+        snapshots
+        if keep_records
+        else [snapshot.error_budget for snapshot in snapshots]
+    )
+    if not ship:
+        return payload, None, None
+    return (
+        payload,
+        snapshot_delta(registry.snapshot(), before),
+        series_delta(series.snapshot(), series_before),
+    )
+
+
+def _run_shard_collection(
+    population: WebPopulation,
+    specs: List[SnapshotSpec],
+    shards: int,
+    workers: Optional[int],
+    mode: str,
+    delta: Optional[bool],
+    keep_records: bool,
+    archive: Optional[Tuple[str, int, str]] = None,
+) -> Tuple[List[object], List[List["SimSite"]]]:
+    """Fan the shard crawl out and fold telemetry back in.
+
+    Returns each shard's payload (snapshots or budgets, shard order)
+    plus the partition itself, which the caller needs to map domains
+    back to shards.
+    """
+    global _COLLECT_CONTEXT
+    sites = list(population.stable)
+    n_workers = max(1, workers or 1)
+    n_shards = shard_count_for(len(sites), shards if shards > 0 else None)
+    parts = partition_domains(
+        sites, n_shards, key=(site.domain for site in sites)
+    )
+    record_shard_balance(parts, stage="collect")
+    resolved = resolve_shard_mode(mode, min(n_workers, n_shards))
+    use_delta = _use_delta(specs, delta)
+    if archive is not None:
+        archive = (archive[0], n_shards, archive[2])
+    _COLLECT_CONTEXT = (
+        population, specs, parts, use_delta,
+        resolved == "process", keep_records, archive,
+    )
+    try:
+        indices = range(n_shards)
+        with span(
+            "collect_snapshots",
+            n_specs=len(specs),
+            workers=n_workers,
+            delta=use_delta,
+            shards=n_shards,
+            mode=resolved,
+        ):
+            if resolved == "serial":
+                outputs = [_collect_shard(i) for i in indices]
+            elif resolved == "process":
+                context = multiprocessing.get_context("fork")
+                with ProcessPoolExecutor(
+                    max_workers=n_workers, mp_context=context
+                ) as pool:
+                    outputs = list(pool.map(_collect_shard, indices))
+            else:
+                with ThreadPoolExecutor(
+                    max_workers=n_workers,
+                    initializer=adopt_current_span,
+                    initargs=(current_span(),),
+                ) as pool:
+                    outputs = list(pool.map(_collect_shard, indices))
+    finally:
+        _COLLECT_CONTEXT = None
+    registry = shared_registry()
+    series = shared_series()
+    payloads: List[object] = []
+    for payload, delta_snapshot, sdelta in outputs:
+        if delta_snapshot is not None:
+            registry.merge(delta_snapshot)
+        if sdelta is not None:
+            series.merge(sdelta)
+        payloads.append(payload)
+    return payloads, parts
+
+
+def _collect_sharded(
+    population: WebPopulation,
+    specs: List[SnapshotSpec],
+    workers: Optional[int],
+    delta: Optional[bool],
+    shards: int,
+    mode: str,
+) -> SnapshotSeries:
+    """Shard-partitioned in-memory collection (bit-identical assembly)."""
+    domains = [site.domain for site in population.stable]
+    shard_snapshots, _ = _run_shard_collection(
+        population, specs, shards=shards, workers=workers, mode=mode,
+        delta=delta, keep_records=True,
+    )
+    snapshots: List[Snapshot] = []
+    for spec_index, spec in enumerate(specs):
+        combined: Dict[str, SiteRecord] = {}
+        budgets = []
+        for per_shard in shard_snapshots:
+            shard_snapshot = per_shard[spec_index]
+            combined.update(shard_snapshot.records)
+            budgets.append(shard_snapshot.error_budget)
+        # Lay records down in canonical stable order so iteration
+        # matches an unsharded crawl exactly.
+        snapshots.append(
+            Snapshot(
+                spec=spec,
+                records={domain: combined[domain] for domain in domains},
+                error_budget=merge_error_budgets(budgets),
+            )
+        )
+    body_pool: Dict[str, str] = {}
+    for snapshot in snapshots:
+        snapshot.intern_bodies(body_pool)
+    analysis = stable_with_robots(snapshots, domains)
+    return SnapshotSeries(
+        snapshots=snapshots, stable_domains=domains, analysis_domains=analysis
+    )
+
+
+def collect_shard_archives(
+    population: WebPopulation,
+    root: Union[str, Path],
+    specs: Sequence[SnapshotSpec] = tuple(SNAPSHOT_SPECS),
+    shards: int = 0,
+    workers: Optional[int] = None,
+    mode: str = "auto",
+    delta: Optional[bool] = None,
+    config_digest: str = "",
+) -> Path:
+    """Crawl the population straight into a columnar shard archive.
+
+    The write-only twin of sharded :func:`collect_snapshots`: each
+    worker crawls its shard and commits a
+    :class:`~repro.web.archive.ShardWriter` directory under *root*;
+    records never accumulate in the parent, so peak memory is
+    O(largest shard) regardless of population size.  Streaming
+    aggregations (:mod:`repro.measure.streaming`) then consume the
+    archive shard by shard.
+
+    Returns *root*; open the result with
+    :class:`repro.web.archive.ArchiveSet`.
+    """
+    root = Path(root)
+    _run_shard_collection(
+        population, list(specs), shards=shards, workers=workers, mode=mode,
+        delta=delta, keep_records=False,
+        archive=(str(root), 0, config_digest),
+    )
+    return root
 
 
 def stable_with_robots(

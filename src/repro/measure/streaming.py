@@ -1,0 +1,409 @@
+"""Streaming Figure 2-4 / Table 3-4 aggregations over shard archives.
+
+The in-memory aggregations in :mod:`repro.measure.longitudinal` hold
+every :class:`~repro.crawlers.commoncrawl.SiteRecord` of every snapshot
+at once -- fine at the paper's scale, quadratic trouble in a
+million-site world.  This module recomputes the same statistics from a
+:class:`~repro.web.archive.ArchiveSet` **shard by shard**: one shard's
+columns and distinct robots bodies are resident at a time, global state
+is a handful of per-spec counters, and peak memory is O(largest shard)
+regardless of how many sites the archive holds.
+
+Every function is bit-identical to its in-memory twin.  The two
+ordering-sensitive outputs (Figure 4's removal domains, Table 4's
+first-allow rows) are reconstructed by sorting shard-local events on
+``(spec index, global rank)`` -- exactly the (snapshot-outer,
+rank-inner) order the in-memory sweeps produce, because the analysis
+set iterates in global rank order.
+
+Classification work stays content-addressed: each shard gets a fresh
+:class:`~repro.measure.cache.PolicyCache` (dropped with the shard), and
+an optional persistent body-fact store -- the archive's own
+:class:`~repro.web.archive.ArchiveBodyStore` or an
+:class:`~repro.measure.incremental.IncrementalStore` -- carries
+verdicts across shards, runs, and backends.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..agents.darkvisitors import AI_USER_AGENT_TOKENS
+from ..core.classify import RestrictionLevel
+from ..core.compiled import CompiledPolicyCache
+from ..obs.metrics import metrics_enabled
+from ..obs.series import shared_series
+from ..obs.trace import span
+from ..web.archive import ArchiveSet, ShardReader
+from .cache import PolicyCache
+from .longitudinal import FIGURE3_AGENTS, AllowRemovalTrend
+
+__all__ = [
+    "ShardAnalysis",
+    "streaming_full_disallow_trend",
+    "streaming_per_agent_trend",
+    "streaming_allow_and_removal_trend",
+    "streaming_first_allow_table",
+    "streaming_coverage_table",
+    "streaming_analysis_domains",
+]
+
+
+class ShardAnalysis:
+    """One shard's records resolved the way the analysis layer sees them.
+
+    Applies the "www."-variant record fallback (Appendix B.1) to every
+    ``(spec, domain)`` cell -- variants co-shard by construction
+    (:func:`repro.web.sharding.shard_of` normalizes the host), so
+    resolution never leaves the shard -- then splits the shard's rows
+    into the analysis set (a usable robots.txt in every spec, the
+    stable-with-robots rule) and the rest.
+
+    Attributes:
+        reader: The underlying :class:`ShardReader`.
+        analysis_rows: Shard-local row indices in the analysis set.
+        eff_bodies: Per spec, the effective body reference per analysis
+            row (resolution applied; always ``>= 0`` for analysis rows).
+        ok_counts: Per spec, resolved rows with a fetched robots.txt.
+        present_counts: Per spec, resolved rows that are ok *or*
+            affirmatively missing (404) -- Table 3's "sites" column.
+    """
+
+    def __init__(self, reader: ShardReader):
+        self.reader = reader
+        n = reader.n_domains
+        specs = reader.specs
+        variant = self._variant_rows(reader)
+        per_spec_eff: List[List[int]] = []
+        self.ok_counts: List[int] = []
+        self.present_counts: List[int] = []
+        analysis_mask = [True] * n
+        for spec_index in range(len(specs)):
+            statuses = reader.statuses(spec_index)
+            body_refs = reader.body_refs(spec_index)
+
+            def usable(row: int) -> bool:
+                status = statuses[row]
+                return (status == 200 and body_refs[row] >= 0) or status == 404
+
+            effective: List[int] = []
+            ok_count = 0
+            present = 0
+            for row in range(n):
+                resolved = row
+                if not usable(row):
+                    alt = variant[row]
+                    if alt >= 0 and usable(alt):
+                        resolved = alt
+                effective.append(
+                    body_refs[resolved] if statuses[resolved] == 200 else -1
+                )
+                if statuses[resolved] == 200 and body_refs[resolved] >= 0:
+                    ok_count += 1
+                    present += 1
+                elif statuses[resolved] == 404:
+                    present += 1
+                    analysis_mask[row] = False
+                else:
+                    analysis_mask[row] = False
+            per_spec_eff.append(effective)
+            self.ok_counts.append(ok_count)
+            self.present_counts.append(present)
+        self.analysis_rows: List[int] = [
+            row for row in range(n) if analysis_mask[row]
+        ]
+        self.eff_bodies: List[List[int]] = [
+            [effective[row] for row in self.analysis_rows]
+            for effective in per_spec_eff
+        ]
+
+    @staticmethod
+    def _variant_rows(reader: ShardReader) -> List[int]:
+        """Per row, the shard-local row of its "www." variant (-1: none)."""
+        index = reader.domain_index()
+        variant: List[int] = []
+        for domain in reader.domains:
+            if domain.startswith("www."):
+                alt = index.get(domain[4:], -1)
+            else:
+                alt = index.get("www." + domain, -1)
+            variant.append(alt)
+        return variant
+
+    def body_counts(self, spec_index: int) -> Dict[int, int]:
+        """``{body ref: analysis domains serving it}`` for one spec."""
+        counts: Dict[int, int] = {}
+        for ref in self.eff_bodies[spec_index]:
+            counts[ref] = counts.get(ref, 0) + 1
+        return counts
+
+
+def _shard_cache(store) -> PolicyCache:
+    # A shard-private compiled cache, NOT the process-shared one: the
+    # shared cache is content-addressed over every body it ever sees,
+    # which would grow resident compiled policies (and their source
+    # text) with the archive, not the shard.  Dropping this cache with
+    # the shard is what keeps streaming memory O(shard).
+    cache = PolicyCache(compiled=CompiledPolicyCache())
+    if store is not None:
+        cache.attach_store(store)
+    return cache
+
+
+def streaming_analysis_domains(archive: ArchiveSet) -> List[str]:
+    """The archive's analysis set in global rank order (the streaming
+    twin of :func:`repro.measure.longitudinal.stable_with_robots`)."""
+    found: List[Tuple[int, str]] = []
+    for reader in archive.readers:
+        view = ShardAnalysis(reader)
+        found.extend(
+            (reader.ranks[row], reader.domains[row])
+            for row in view.analysis_rows
+        )
+    found.sort()
+    return [domain for _, domain in found]
+
+
+def streaming_full_disallow_trend(
+    archive: ArchiveSet,
+    agents: Sequence[str] = tuple(AI_USER_AGENT_TOKENS),
+    require_explicit: bool = True,
+    store=None,
+) -> List[Tuple[str, float, float]]:
+    """Figure 2, streamed: % fully disallowing >= 1 AI UA per snapshot,
+    split by Top-5K tier.  Rows ``(snapshot_id, pct_top, pct_other)``."""
+    specs = archive.specs
+    agents = tuple(agents)
+    hits = [[0, 0] for _ in specs]
+    sizes = [0, 0]
+    with span(
+        "measure.full_disallow_trend",
+        n_agents=len(agents),
+        shards=len(archive.readers),
+        streaming=True,
+    ):
+        for reader in archive.readers:
+            view = ShardAnalysis(reader)
+            cache = _shard_cache(store)
+            tier_of = [
+                0 if reader.tiers[row] else 1 for row in view.analysis_rows
+            ]
+            for row_tier in tier_of:
+                sizes[row_tier] += 1
+            verdict: Dict[int, bool] = {}
+            for spec_index in range(len(specs)):
+                shard_hits = [0, 0]
+                for ref, row_tier in zip(view.eff_bodies[spec_index], tier_of):
+                    flag = verdict.get(ref)
+                    if flag is None:
+                        flag = cache.fully_disallows_any(
+                            reader.body_text(ref),
+                            agents,
+                            require_explicit=require_explicit,
+                        )
+                        verdict[ref] = flag
+                    if flag:
+                        shard_hits[row_tier] += 1
+                hits[spec_index][0] += shard_hits[0]
+                hits[spec_index][1] += shard_hits[1]
+                if metrics_enabled():
+                    month = specs[spec_index].month_index
+                    registry = shared_series()
+                    registry.add(
+                        "measure.sites_full_disallow",
+                        month,
+                        shard_hits[0],
+                        tier="top5k",
+                    )
+                    registry.add(
+                        "measure.sites_full_disallow",
+                        month,
+                        shard_hits[1],
+                        tier="other",
+                    )
+            reader.drop_body_cache()
+    n_top, n_other = sizes
+    return [
+        (
+            spec.snapshot_id,
+            100.0 * hits[spec_index][0] / n_top if n_top else 0.0,
+            100.0 * hits[spec_index][1] / n_other if n_other else 0.0,
+        )
+        for spec_index, spec in enumerate(specs)
+    ]
+
+
+def streaming_per_agent_trend(
+    archive: ArchiveSet,
+    agents: Sequence[str] = tuple(FIGURE3_AGENTS),
+    store=None,
+) -> Dict[str, List[Tuple[str, float]]]:
+    """Figure 3, streamed: per-agent % partially-or-fully disallowing."""
+    specs = archive.specs
+    agents = list(agents)
+    hits = {agent: [0] * len(specs) for agent in agents}
+    n_analysis = 0
+    for reader in archive.readers:
+        view = ShardAnalysis(reader)
+        cache = _shard_cache(store)
+        n_analysis += len(view.analysis_rows)
+        verdict: Dict[Tuple[int, str], bool] = {}
+        for spec_index in range(len(specs)):
+            counts = view.body_counts(spec_index)
+            for agent in agents:
+                agent_hits = 0
+                for ref, count in counts.items():
+                    key = (ref, agent)
+                    flag = verdict.get(key)
+                    if flag is None:
+                        flag = cache.classification(
+                            reader.body_text(ref), agent
+                        ).level.disallows
+                        verdict[key] = flag
+                    if flag:
+                        agent_hits += count
+                hits[agent][spec_index] += agent_hits
+                if metrics_enabled():
+                    shared_series().add(
+                        "measure.sites_disallowing",
+                        specs[spec_index].month_index,
+                        agent_hits,
+                        agent=agent,
+                    )
+        reader.drop_body_cache()
+    return {
+        agent: [
+            (
+                spec.snapshot_id,
+                100.0 * hits[agent][spec_index] / n_analysis
+                if n_analysis
+                else 0.0,
+            )
+            for spec_index, spec in enumerate(specs)
+        ]
+        for agent in agents
+    }
+
+
+def streaming_allow_and_removal_trend(
+    archive: ArchiveSet,
+    agents: Sequence[str] = tuple(AI_USER_AGENT_TOKENS),
+    removal_agent: str = "GPTBot",
+    store=None,
+) -> AllowRemovalTrend:
+    """Figure 4, streamed: explicit allows over time, removals per
+    period, and removal domains in first-observed order."""
+    specs = archive.specs
+    agents = tuple(agents)
+    allow_counts = [0] * len(specs)
+    removal_counts = [0] * len(specs)
+    #: ``(first spec index with a removal, global rank, domain)``.
+    removal_events: List[Tuple[int, int, str]] = []
+    for reader in archive.readers:
+        view = ShardAnalysis(reader)
+        cache = _shard_cache(store)
+        allow_verdict: Dict[int, bool] = {}
+        full_verdict: Dict[int, bool] = {}
+
+        def is_full(ref: int) -> bool:
+            flag = full_verdict.get(ref)
+            if flag is None:
+                flag = (
+                    cache.classification(
+                        reader.body_text(ref), removal_agent
+                    ).level
+                    is RestrictionLevel.FULL
+                )
+                full_verdict[ref] = flag
+            return flag
+
+        previous_restricted: Optional[List[bool]] = None
+        first_removal: Dict[int, int] = {}
+        for spec_index in range(len(specs)):
+            for ref, count in view.body_counts(spec_index).items():
+                flag = allow_verdict.get(ref)
+                if flag is None:
+                    flag = cache.allows_any(reader.body_text(ref), agents)
+                    allow_verdict[ref] = flag
+                if flag:
+                    allow_counts[spec_index] += count
+            restricted_now = [
+                is_full(ref) for ref in view.eff_bodies[spec_index]
+            ]
+            if previous_restricted is not None:
+                for position, row in enumerate(view.analysis_rows):
+                    if previous_restricted[position] and not restricted_now[position]:
+                        removal_counts[spec_index] += 1
+                        first_removal.setdefault(row, spec_index)
+            previous_restricted = restricted_now
+        removal_events.extend(
+            (spec_index, reader.ranks[row], reader.domains[row])
+            for row, spec_index in first_removal.items()
+        )
+        reader.drop_body_cache()
+    trend = AllowRemovalTrend()
+    for spec_index, spec in enumerate(specs):
+        trend.explicit_allow_counts.append(
+            (spec.snapshot_id, allow_counts[spec_index])
+        )
+        trend.removals_per_period.append(
+            (spec.snapshot_id, removal_counts[spec_index])
+        )
+    # The in-memory sweep records removal domains snapshot-outer /
+    # rank-inner; sorting the shard-local events on (spec, rank)
+    # reproduces that insertion order exactly.
+    removal_events.sort()
+    for spec_index, _, domain in removal_events:
+        trend.removal_domains.setdefault(
+            domain, specs[spec_index].snapshot_id
+        )
+    return trend
+
+
+def streaming_first_allow_table(
+    archive: ArchiveSet, agent: str = "GPTBot", store=None
+) -> List[Tuple[str, str]]:
+    """Table 4, streamed: domains explicitly allowing *agent* with the
+    first snapshot where the allow was observed."""
+    specs = archive.specs
+    events: List[Tuple[int, int, str]] = []
+    for reader in archive.readers:
+        view = ShardAnalysis(reader)
+        cache = _shard_cache(store)
+        verdict: Dict[int, bool] = {}
+        for position, row in enumerate(view.analysis_rows):
+            for spec_index in range(len(specs)):
+                ref = view.eff_bodies[spec_index][position]
+                flag = verdict.get(ref)
+                if flag is None:
+                    flag = cache.explicitly_allows(reader.body_text(ref), agent)
+                    verdict[ref] = flag
+                if flag:
+                    events.append(
+                        (spec_index, reader.ranks[row], reader.domains[row])
+                    )
+                    break
+        reader.drop_body_cache()
+    events.sort()
+    return [
+        (domain, specs[spec_index].snapshot_id)
+        for spec_index, _, domain in events
+    ]
+
+
+def streaming_coverage_table(
+    archive: ArchiveSet,
+) -> List[Tuple[str, str, int, int]]:
+    """Table 3, streamed: per snapshot, sites present and with robots."""
+    specs = archive.specs
+    n_sites = [0] * len(specs)
+    n_robots = [0] * len(specs)
+    for reader in archive.readers:
+        view = ShardAnalysis(reader)
+        for spec_index in range(len(specs)):
+            n_sites[spec_index] += view.present_counts[spec_index]
+            n_robots[spec_index] += view.ok_counts[spec_index]
+    return [
+        (spec.snapshot_id, spec.label, n_sites[spec_index], n_robots[spec_index])
+        for spec_index, spec in enumerate(specs)
+    ]

@@ -232,12 +232,8 @@ def build_longitudinal_bundle(
     return LongitudinalBundle(population=population, series=series)
 
 
-def run_figure2(bundle: LongitudinalBundle, require_explicit: bool = True) -> ExperimentResult:
-    """Figure 2: % fully disallowing >= 1 AI UA, Top-5K vs the rest."""
-    top5k = {s.domain for s in bundle.population.stable_top5k}
-    rows = full_disallow_trend(
-        bundle.series, top5k, require_explicit=require_explicit
-    )
+def _figure2_result(rows, n_analysis: int) -> ExperimentResult:
+    """Render Figure 2 from its trend rows (shared by both backends)."""
     series = {
         "top5k": [(sid, pct) for sid, pct, _ in rows],
         "other": [(sid, pct) for sid, _, pct in rows],
@@ -257,14 +253,22 @@ def run_figure2(bundle: LongitudinalBundle, require_explicit: bool = True) -> Ex
         "final_top5k_pct": rows[-1][1],
         "final_other_pct": rows[-1][2],
         "initial_other_pct": rows[0][2],
-        "n_analysis_sites": float(len(bundle.series.analysis_domains)),
+        "n_analysis_sites": float(n_analysis),
     }
     return ExperimentResult("figure2", "Full-disallow trend (Figure 2)", text, metrics)
 
 
-def run_figure3(bundle: LongitudinalBundle) -> ExperimentResult:
-    """Figure 3: per-agent partial-or-full disallow trend."""
-    trends = per_agent_trend(bundle.series)
+def run_figure2(bundle: LongitudinalBundle, require_explicit: bool = True) -> ExperimentResult:
+    """Figure 2: % fully disallowing >= 1 AI UA, Top-5K vs the rest."""
+    top5k = {s.domain for s in bundle.population.stable_top5k}
+    rows = full_disallow_trend(
+        bundle.series, top5k, require_explicit=require_explicit
+    )
+    return _figure2_result(rows, len(bundle.series.analysis_domains))
+
+
+def _figure3_result(trends) -> ExperimentResult:
+    """Render Figure 3 from its per-agent trends."""
     series = {agent: list(points) for agent, points in trends.items()}
     snapshot_ids = [sid for sid, _ in next(iter(series.values()))]
     rows = []
@@ -285,10 +289,13 @@ def run_figure3(bundle: LongitudinalBundle) -> ExperimentResult:
     return ExperimentResult("figure3", "Per-agent disallow trend (Figure 3)", text, metrics)
 
 
-def run_figure4(bundle: LongitudinalBundle) -> ExperimentResult:
-    """Figure 4 + Table 4: explicit allows, removals, first-allow list."""
-    trend = allow_and_removal_trend(bundle.series)
-    table4 = first_allow_table(bundle.series)
+def run_figure3(bundle: LongitudinalBundle) -> ExperimentResult:
+    """Figure 3: per-agent partial-or-full disallow trend."""
+    return _figure3_result(per_agent_trend(bundle.series))
+
+
+def _figure4_result(trend, table4, n_analysis: int) -> ExperimentResult:
+    """Render Figure 4 + Table 4 from the trend and first-allow rows."""
     series = {
         "explicit_allows": [(sid, float(n)) for sid, n in trend.explicit_allow_counts],
         "removals": [(sid, float(n)) for sid, n in trend.removals_per_period],
@@ -316,7 +323,7 @@ def run_figure4(bundle: LongitudinalBundle) -> ExperimentResult:
     total_removals = sum(n for _, n in trend.removals_per_period)
     # Normalize by the analysis population (the paper's 484 removers and
     # 79 allowers are counts over its 40,455 analysis sites).
-    n_analysis = max(len(bundle.series.analysis_domains), 1)
+    n_analysis = max(n_analysis, 1)
     metrics = {
         "final_explicit_allows": float(trend.explicit_allow_counts[-1][1]),
         "total_removals": float(total_removals),
@@ -327,9 +334,15 @@ def run_figure4(bundle: LongitudinalBundle) -> ExperimentResult:
     return ExperimentResult("figure4", "Explicit allows & removals (Figure 4, Table 4)", text, metrics)
 
 
-def run_table3(bundle: LongitudinalBundle) -> ExperimentResult:
-    """Table 3: snapshot coverage statistics."""
-    rows = snapshot_coverage_table(bundle.series)
+def run_figure4(bundle: LongitudinalBundle) -> ExperimentResult:
+    """Figure 4 + Table 4: explicit allows, removals, first-allow list."""
+    trend = allow_and_removal_trend(bundle.series)
+    table4 = first_allow_table(bundle.series)
+    return _figure4_result(trend, table4, len(bundle.series.analysis_domains))
+
+
+def _table3_result(rows) -> ExperimentResult:
+    """Render Table 3 from its coverage rows."""
     text = render_table(
         ["snapshot", "months", "# sites", "# with robots.txt"],
         rows,
@@ -341,6 +354,62 @@ def run_table3(bundle: LongitudinalBundle) -> ExperimentResult:
         "max_sites": float(max(r[2] for r in rows)),
     }
     return ExperimentResult("table3", "Snapshot coverage (Table 3)", text, metrics)
+
+
+def run_table3(bundle: LongitudinalBundle) -> ExperimentResult:
+    """Table 3: snapshot coverage statistics."""
+    return _table3_result(snapshot_coverage_table(bundle.series))
+
+
+# ----------------------------------------------- streaming (shard archive) ----
+
+
+def run_figure2_streaming(
+    archive, require_explicit: bool = True, store=None
+) -> ExperimentResult:
+    """Figure 2 computed shard-by-shard from a columnar archive.
+
+    Identical output to :func:`run_figure2` over the same world; peak
+    memory stays O(largest shard) regardless of archive size.
+    """
+    from ..measure.streaming import (
+        streaming_analysis_domains,
+        streaming_full_disallow_trend,
+    )
+
+    rows = streaming_full_disallow_trend(
+        archive, require_explicit=require_explicit, store=store
+    )
+    return _figure2_result(rows, len(streaming_analysis_domains(archive)))
+
+
+def run_figure3_streaming(archive, store=None) -> ExperimentResult:
+    """Figure 3 computed shard-by-shard from a columnar archive."""
+    from ..measure.streaming import streaming_per_agent_trend
+
+    return _figure3_result(streaming_per_agent_trend(archive, store=store))
+
+
+def run_figure4_streaming(archive, store=None) -> ExperimentResult:
+    """Figure 4 + Table 4 computed shard-by-shard from an archive."""
+    from ..measure.streaming import (
+        streaming_allow_and_removal_trend,
+        streaming_analysis_domains,
+        streaming_first_allow_table,
+    )
+
+    trend = streaming_allow_and_removal_trend(archive, store=store)
+    table4 = streaming_first_allow_table(archive, store=store)
+    return _figure4_result(
+        trend, table4, len(streaming_analysis_domains(archive))
+    )
+
+
+def run_table3_streaming(archive) -> ExperimentResult:
+    """Table 3 computed shard-by-shard from a columnar archive."""
+    from ..measure.streaming import streaming_coverage_table
+
+    return _table3_result(streaming_coverage_table(archive))
 
 
 # ---------------------------------------------------------------- Table 2 ----

@@ -68,6 +68,7 @@ __all__ = [
     "RunReport",
     "run_all",
     "run_one",
+    "run_strata",
 ]
 
 #: World dependency labels.
@@ -228,6 +229,19 @@ class RunReport:
                 if spec.key in self.timings_seconds
             ],
         }
+        # Strata runs time keys outside the registry ("figure2@top-1k");
+        # emit them after the registry entries, in execution order.
+        for key in self.timings_seconds:
+            if key not in _BY_KEY:
+                payload["experiments"].append(
+                    {
+                        "key": key,
+                        "experiment_id": key,
+                        "title": key,
+                        "world": "archive",
+                        "seconds": round(self.timings_seconds[key], 6),
+                    }
+                )
         if self.incremental:
             payload["incremental"] = dict(self.incremental)
         return payload
@@ -375,6 +389,128 @@ def _resolve_mode(mode: str, workers: int) -> str:
     return "thread"
 
 
+#: The streaming battery a strata run executes per stratum, in report
+#: order.  Each runner consumes an open ArchiveSet (plus its body-facts
+#: store) instead of an in-memory bundle.
+_STRATA_RUNNERS: Tuple[Tuple[str, Callable[..., ExperimentResult]], ...] = (
+    ("figure2", lambda archive, body: exp.run_figure2_streaming(archive, store=body)),
+    ("figure3", lambda archive, body: exp.run_figure3_streaming(archive, store=body)),
+    ("figure4", lambda archive, body: exp.run_figure4_streaming(archive, store=body)),
+    ("table3", lambda archive, body: exp.run_table3_streaming(archive)),
+)
+
+
+def run_strata(
+    strata: Sequence[str],
+    config: Optional[PopulationConfig] = None,
+    workers: Optional[int] = None,
+    shards: int = 0,
+    mode: str = "auto",
+    archive_dir: Optional[Union[str, Path]] = None,
+    store: Optional[WorldStore] = None,
+    telemetry_dir: Optional[Union[str, Path]] = None,
+) -> RunReport:
+    """Run the streaming figure battery over one or more top-k strata.
+
+    For each named stratum (see
+    :data:`~repro.web.tranco.STRATUM_SIZES`) this crawls -- or reopens,
+    when a matching archive already sits under *archive_dir* -- the
+    sharded columnar archive for the stratum's scaled config, then
+    computes Figures 2-4 and Table 3 by streaming shard-by-shard.  Peak
+    aggregation memory is O(largest shard), not O(stratum), so growing
+    the stratum 10x does not grow resident analysis state 10x.
+
+    Args:
+        strata: Stratum names, e.g. ``["top-1k", "top-10k"]``.
+        config: Base config the stratum scaling derives from (None =
+            the paper's default scale; ``top-10k`` is then the default
+            world itself).
+        workers: Shard-crawl parallelism for cold archives (forwarded
+            to :func:`~repro.measure.longitudinal.collect_shard_archives`).
+        shards: Shard count (0 = sized automatically from the stratum).
+        mode: Shard-crawl execution mode ("auto"/"serial"/"thread"/
+            "process").
+        archive_dir: Directory holding one archive per stratum
+            (``<archive_dir>/<stratum>/shard-*``).  Defaults to
+            ``.repro-archives`` under the working directory.
+        store: World store for the backing populations.
+        telemetry_dir: When given, export METRICS/SERIES/TRACE here.
+
+    Returns:
+        A :class:`RunReport` with ``mode="strata"`` and results whose
+        ids are suffixed ``@<stratum>`` (``figure2@top-1k``, ...).
+    """
+    from ..web.population import stratum_config
+    from ..web.tranco import strata_names
+
+    known = strata_names()
+    unknown = [s for s in strata if s not in known]
+    if unknown:
+        raise KeyError(
+            f"unknown stratum name(s): {', '.join(unknown)} "
+            f"(known: {', '.join(known)})"
+        )
+    store = store or shared_world_store()
+    archive_root = Path(archive_dir) if archive_dir is not None else Path(".repro-archives")
+
+    registry = shared_registry()
+    tracer = shared_tracer()
+    was_tracing = tracing_enabled()
+    set_tracing_enabled(True)
+    run_mark = tracer.record_count()
+    report = RunReport(workers=max(1, workers or 1), mode="strata")
+    try:
+        total_span = span("run_strata", n_strata=len(strata), shards=shards)
+        with total_span:
+            for stratum in strata:
+                cfg = stratum_config(stratum, config)
+                with span("stratum", stratum=stratum):
+                    world_span = span("archive_build", stratum=stratum)
+                    with world_span:
+                        archive = store.archive(
+                            cfg,
+                            archive_root / stratum,
+                            shards=shards,
+                            workers=workers,
+                            mode=mode,
+                        )
+                    report.world_seconds += getattr(
+                        world_span, "duration_seconds", 0.0
+                    )
+                    try:
+                        body = archive.body_store()
+                        for key, runner in _STRATA_RUNNERS:
+                            run_key = f"{key}@{stratum}"
+                            exp_span = span(
+                                f"experiment:{run_key}", key=key, stratum=stratum
+                            )
+                            with exp_span:
+                                result = runner(archive, body)
+                            report.timings_seconds[run_key] = getattr(
+                                exp_span, "duration_seconds", 0.0
+                            )
+                            report.results.append(
+                                ExperimentResult(
+                                    experiment_id=run_key,
+                                    title=f"{result.title} [{stratum}]",
+                                    text=result.text,
+                                    metrics=result.metrics,
+                                )
+                            )
+                        body.flush()
+                    finally:
+                        archive.close()
+        report.total_seconds = getattr(total_span, "duration_seconds", 0.0)
+        report.spans = tracer.records_since(run_mark)
+    finally:
+        set_tracing_enabled(was_tracing)
+
+    if telemetry_dir is not None:
+        shared_policy_cache().publish()
+        report.export_telemetry(telemetry_dir, registry)
+    return report
+
+
 def run_all(
     config: Optional[PopulationConfig] = None,
     workers: Optional[int] = None,
@@ -387,6 +523,9 @@ def run_all(
     chaos_seed: int = 0,
     incremental: Union[None, bool, str, Path, IncrementalStore] = None,
     param_overrides: Optional[Dict[str, Dict[str, object]]] = None,
+    strata: Optional[Sequence[str]] = None,
+    shards: int = 0,
+    archive_dir: Optional[Union[str, Path]] = None,
 ) -> RunReport:
     """Run the experiment battery over one shared world.
 
@@ -438,11 +577,34 @@ def run_all(
             the runner call and the incremental input key, so editing
             one experiment's parameter invalidates exactly that
             experiment.
+        strata: When given, delegate to :func:`run_strata`: run the
+            streaming figure battery over these top-k strata instead of
+            the registry battery.  *shards*/*archive_dir* apply, *mode*
+            and *workers* steer the shard crawl, and the incremental /
+            chaos machinery is refused (archives have their own warm
+            path).
+        shards: Shard count for strata archives (0 = automatic).
+        archive_dir: Root directory for per-stratum archives.
 
     Returns:
         A :class:`RunReport` with results in registry order, the
         span-derived timing trajectory, and the run's span records.
     """
+    if strata is not None:
+        if incremental not in (None, False):
+            raise ValueError("strata runs do not support incremental mode")
+        if fault_plan is not None:
+            raise ValueError("strata runs do not support fault plans")
+        return run_strata(
+            strata,
+            config=config,
+            workers=workers,
+            shards=shards,
+            mode=mode,
+            archive_dir=archive_dir,
+            store=store,
+            telemetry_dir=telemetry_dir,
+        )
     global _WORKER_CONTEXT
     chaos_preactivated = _chaos.active_plan() is not None
     if fault_plan is not None:

@@ -23,7 +23,63 @@ from typing import Dict, List, Sequence, Set
 
 from .domains import domain_name
 
-__all__ = ["RankingModel", "stable_sites"]
+__all__ = [
+    "RankingModel",
+    "stable_sites",
+    "STRATUM_SIZES",
+    "strata_names",
+    "stratum_cutoff",
+    "stratum_members",
+]
+
+#: The paper-scale top-k strata the scale plane measures, smallest
+#: first.  The paper itself studies the top-100k; Common Crawl robots
+#: studies sweep every stratum up to 1M, which is what the sharded
+#: archive plane reproduces.
+STRATUM_SIZES: Dict[str, int] = {
+    "top-1k": 1_000,
+    "top-10k": 10_000,
+    "top-100k": 100_000,
+    "top-1m": 1_000_000,
+}
+
+
+def strata_names() -> List[str]:
+    """Stratum identifiers, smallest first."""
+    return sorted(STRATUM_SIZES, key=STRATUM_SIZES.get)
+
+
+def stratum_cutoff(stratum: str, scale: float = 1.0) -> int:
+    """The rank cutoff for *stratum* at simulation *scale*.
+
+    *scale* is the simulated list's size relative to the paper's 100k
+    (``PopulationConfig.paper_scale``); the default config's 1:25 scale
+    maps ``top-100k`` to 4,000 simulated sites and ``top-1k`` to 40.
+
+    >>> stratum_cutoff("top-100k")
+    100000
+    >>> stratum_cutoff("top-1k", scale=0.04)
+    40
+    """
+    try:
+        size = STRATUM_SIZES[stratum]
+    except KeyError:
+        known = ", ".join(strata_names())
+        raise KeyError(f"unknown stratum {stratum!r} (known: {known})") from None
+    return max(1, round(size * scale))
+
+
+def stratum_members(
+    rankings: Dict[int, List[str]], stratum: str, scale: float = 1.0
+) -> List[str]:
+    """The stable membership of *stratum*: domains inside its cutoff in
+    every month's ranking, in first-month rank order.
+
+    This is :func:`stable_sites` at the stratum's scaled cutoff --
+    membership is a pure function of the rankings (hence of the seed),
+    never of shard or worker counts.
+    """
+    return stable_sites(rankings, stratum_cutoff(stratum, scale))
 
 
 @dataclass

@@ -153,6 +153,12 @@ class WorldStore:
         self._series_misses = self._registry.counter(
             "worldstore.series", store=store_id, event="miss"
         )
+        self._archive_hits = self._registry.counter(
+            "worldstore.archive", store=store_id, event="hit"
+        )
+        self._archive_misses = self._registry.counter(
+            "worldstore.archive", store=store_id, event="miss"
+        )
 
     # -- worlds ---------------------------------------------------------------
 
@@ -205,6 +211,67 @@ class WorldStore:
             else:
                 self._series_hits.inc()
             return series
+
+    def stratum_population(
+        self,
+        stratum: str,
+        base: Optional[PopulationConfig] = None,
+    ) -> WebPopulation:
+        """The canonical population for a named top-k *stratum*.
+
+        Derives the stratum's scaled config with
+        :func:`~repro.web.population.stratum_config` and serves it from
+        the same digest-keyed cache as :meth:`population` -- a stratum
+        and the equivalent explicit config share one build.
+        """
+        from .population import stratum_config
+
+        return self.population(stratum_config(stratum, base))
+
+    def archive(
+        self,
+        config: Optional[PopulationConfig],
+        root,
+        shards: int = 0,
+        workers: Optional[int] = None,
+        mode: str = "auto",
+    ):
+        """A columnar shard archive of *config*'s snapshot series.
+
+        Opens an existing archive under *root* when its config digest
+        matches (a crawl-free warm start -- the scale plane's analogue
+        of a series cache hit); otherwise crawls the population straight
+        into per-shard archives via
+        :func:`~repro.measure.longitudinal.collect_shard_archives` and
+        opens the result.  Returns an open
+        :class:`~repro.web.archive.ArchiveSet` (caller closes).
+        """
+        from pathlib import Path
+
+        from ..measure.longitudinal import collect_shard_archives
+        from .archive import ArchiveError, ArchiveSet
+
+        root = Path(root)
+        digest = config_digest(config)
+        try:
+            existing = ArchiveSet.open(root)
+            if existing.config_digest == digest:
+                self._archive_hits.inc()
+                return existing
+            existing.close()
+        except ArchiveError:
+            pass
+        self._archive_misses.inc()
+        population = self.population(config)
+        collect_shard_archives(
+            population,
+            root,
+            shards=shards,
+            workers=workers,
+            mode=mode,
+            config_digest=digest,
+        )
+        return ArchiveSet.open(root)
 
     # -- maintenance ----------------------------------------------------------
 

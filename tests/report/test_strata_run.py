@@ -1,0 +1,124 @@
+"""Strata runs: archive-backed streaming battery via the orchestrator.
+
+``run_strata`` crawls (or reopens) one sharded columnar archive per
+stratum and computes the streaming figure battery from it; ``run_all``
+delegates when ``strata=`` is given and refuses the combinations that
+make no sense for archives (incremental stores, fault plans).
+"""
+
+import pytest
+
+from repro.report.orchestrator import RunReport, run_all, run_strata
+from repro.web.population import PopulationConfig
+from repro.web.worldstore import WorldStore
+
+BASE = PopulationConfig(
+    universe_size=450, list_size=300, top5k_cut=40, audit_size=80, seed=7
+)
+
+STRATA = ["top-10k"]  # cutoff 30 at this scale: small but churn-stable
+
+
+@pytest.fixture(scope="module")
+def first_run(tmp_path_factory):
+    archive_dir = tmp_path_factory.mktemp("archives")
+    store = WorldStore()
+    report = run_strata(
+        STRATA, config=BASE, shards=2, archive_dir=archive_dir, store=store
+    )
+    return report, archive_dir, store
+
+
+class TestRunStrata:
+    def test_result_ids_are_stratum_suffixed(self, first_run):
+        report, _, _ = first_run
+        assert [r.experiment_id for r in report.results] == [
+            "figure2@top-10k", "figure3@top-10k",
+            "figure4@top-10k", "table3@top-10k",
+        ]
+        assert report.mode == "strata"
+        for result in report.results:
+            assert result.text.strip()
+            assert result.title.endswith("[top-10k]")
+
+    def test_timings_cover_every_experiment(self, first_run):
+        report, _, _ = first_run
+        payload = report.to_timings()
+        keys = [entry["key"] for entry in payload["experiments"]]
+        assert keys == ["figure2@top-10k", "figure3@top-10k",
+                        "figure4@top-10k", "table3@top-10k"]
+        assert all(entry["world"] == "archive"
+                   for entry in payload["experiments"])
+
+    def test_archive_persists_on_disk(self, first_run):
+        _, archive_dir, _ = first_run
+        shard_dirs = sorted((archive_dir / "top-10k").glob("shard-*"))
+        assert len(shard_dirs) == 2
+        assert all((d / "manifest.json").exists() for d in shard_dirs)
+
+    def test_warm_rerun_reuses_archive_and_matches(self, first_run):
+        report, archive_dir, store = first_run
+        hits_before = store._archive_hits.value
+        again = run_strata(
+            STRATA, config=BASE, shards=2, archive_dir=archive_dir, store=store
+        )
+        assert store._archive_hits.value == hits_before + 1
+        assert [r.text for r in again.results] == [
+            r.text for r in report.results
+        ]
+        assert [r.metrics for r in again.results] == [
+            r.metrics for r in report.results
+        ]
+
+    def test_unknown_stratum_is_a_keyerror(self, tmp_path):
+        with pytest.raises(KeyError, match="unknown stratum"):
+            run_strata(["top-5k"], config=BASE, archive_dir=tmp_path)
+
+
+class TestRunAllDelegation:
+    def test_run_all_forwards_strata(self, first_run):
+        report, archive_dir, store = first_run
+        delegated = run_all(
+            config=BASE,
+            strata=STRATA,
+            shards=2,
+            archive_dir=archive_dir,
+            store=store,
+        )
+        assert isinstance(delegated, RunReport)
+        assert delegated.mode == "strata"
+        assert [r.experiment_id for r in delegated.results] == [
+            r.experiment_id for r in report.results
+        ]
+        assert [r.text for r in delegated.results] == [
+            r.text for r in report.results
+        ]
+
+    def test_refuses_incremental(self, tmp_path):
+        with pytest.raises(ValueError, match="incremental"):
+            run_all(config=BASE, strata=STRATA, archive_dir=tmp_path,
+                    incremental=True)
+
+    def test_refuses_fault_plans(self, tmp_path):
+        with pytest.raises(ValueError, match="fault plans"):
+            run_all(config=BASE, strata=STRATA, archive_dir=tmp_path,
+                    fault_plan="flaky-resets")
+
+
+class TestStreamingMatchesClassic:
+    def test_stratum_figures_match_in_memory_battery(self, first_run):
+        """The archive-backed figure2 equals the classic bundle run
+        over the same stratum config (modulo the stratum-suffixed id)."""
+        from repro.report.experiments import build_longitudinal_bundle, run_figure2
+        from repro.web.population import stratum_config
+
+        report, _, store = first_run
+        bundle = build_longitudinal_bundle(
+            stratum_config("top-10k", BASE), store=store
+        )
+        classic = run_figure2(bundle)
+        streamed = next(
+            r for r in report.results if r.experiment_id == "figure2@top-10k"
+        )
+        assert streamed.text == classic.text
+        assert streamed.metrics == classic.metrics

@@ -336,3 +336,52 @@ class TestChaos:
             (tmp_path / "baseline" / "sec62.txt").read_bytes()
             == (tmp_path / "chaos" / "sec62.txt").read_bytes()
         )
+
+
+class TestStrataCLI:
+    """The --strata surface and the shard-balance telemetry sections."""
+
+    def test_strata_refuses_incremental_and_only(self, capsys):
+        assert main(["reproduce", "--fast", "--strata", "top-1k",
+                     "--incremental"]) == 2
+        err = capsys.readouterr().err
+        assert "--strata" in err and "cannot combine" in err
+        assert main(["reproduce", "--fast", "--strata", "top-1k",
+                     "--only", "figure2"]) == 2
+
+    def test_unknown_stratum_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["reproduce", "--fast", "--strata", "top-5k"])
+
+    def test_strata_run_and_shard_balance_report(self, tmp_path, capsys):
+        telemetry = tmp_path / "telemetry"
+        assert main(["reproduce", "--fast", "--strata", "top-1k",
+                     "--shards", "2", "--archive-dir", str(tmp_path / "arch"),
+                     "--telemetry-dir", str(telemetry)]) == 0
+        out = capsys.readouterr().out
+        assert "figure2@top-1k" in out and "mode=strata" in out
+        assert sorted((tmp_path / "arch" / "top-1k").glob("shard-*"))
+
+        assert main(["stats", str(telemetry)]) == 0
+        out = capsys.readouterr().out
+        assert "shard balance:" in out
+        assert "bytes written" in out
+
+    def test_shard_balance_from_synthetic_metrics(self, tmp_path, capsys):
+        import json
+
+        payload = {
+            "schema_version": 1,
+            "counters": {
+                "shard.sites{shard=0,stage=collect}": 30,
+                "shard.sites{shard=1,stage=collect}": 10,
+                "archive.bytes_written": 4096,
+            },
+            "gauges": {},
+            "histograms": {},
+        }
+        (tmp_path / "METRICS.json").write_text(json.dumps(payload))
+        assert main(["stats", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "collect: 40 sites over 2 shard(s), peak 30 (1.50x mean)" in out
+        assert "archive: 4096 bytes written" in out
