@@ -31,6 +31,7 @@ REPO = pathlib.Path(__file__).resolve().parent.parent
 RESULTS = REPO / "benchmarks" / "output" / "BENCH_RESULTS.json"
 OBS_OVERHEAD = REPO / "benchmarks" / "output" / "OBS_OVERHEAD.json"
 CHAOS_OVERHEAD = REPO / "benchmarks" / "output" / "CHAOS_OVERHEAD.json"
+LIVE_OVERHEAD = REPO / "benchmarks" / "output" / "LIVE_OVERHEAD.json"
 INCREMENTAL = REPO / "benchmarks" / "output" / "INCREMENTAL.json"
 SCALE = REPO / "benchmarks" / "output" / "SCALE.json"
 
@@ -41,6 +42,11 @@ OBS_OVERHEAD_BUDGET_PCT = 1.0
 #: An armed transient fault plan may imply at most this much slowdown
 #: on the snapshot pipeline (percent; see bench_chaos_overhead.py).
 CHAOS_OVERHEAD_BUDGET_PCT = 1.0
+
+#: An installed live telemetry pipeline (scrape + export per month
+#: tick) may imply at most this much slowdown on the Figure 2 pipeline
+#: (percent; see bench_live_overhead.py).
+LIVE_OVERHEAD_BUDGET_PCT = 1.0
 
 #: A warm incremental battery must beat the cold run by at least this
 #: factor (see bench_incremental.py).
@@ -159,9 +165,10 @@ def main() -> int:
 
     obs_ok = _check_obs_overhead()
     chaos_ok = _check_chaos_overhead()
+    live_ok = _check_live_overhead()
     incremental_ok = _check_incremental()
     scale_ok = _check_scale()
-    overhead_ok = obs_ok and chaos_ok and incremental_ok and scale_ok
+    overhead_ok = obs_ok and chaos_ok and live_ok and incremental_ok and scale_ok
 
     if regressions:
         print(f"\n{len(regressions)} bench(es) regressed more than "
@@ -255,6 +262,27 @@ def _check_scale() -> bool:
             print("  <-- UNDER FLOOR")
             ok = False
     return ok
+
+
+def _check_live_overhead() -> bool:
+    """Gate the live-pipeline month-tick budget from LIVE_OVERHEAD.json."""
+    if not LIVE_OVERHEAD.exists():
+        return True  # bench deselected this run; nothing to check
+    try:
+        payload = json.loads(LIVE_OVERHEAD.read_text())
+    except (ValueError, OSError):
+        print(f"warning: unreadable {LIVE_OVERHEAD}")
+        return True
+    implied = payload.get("implied_overhead_pct")
+    if implied is None:
+        return True
+    print(f"\n== live telemetry overhead ==\n  implied installed-pipeline "
+          f"cost on figure2: {implied:.3f}% "
+          f"(budget {LIVE_OVERHEAD_BUDGET_PCT:.1f}%)")
+    if implied > LIVE_OVERHEAD_BUDGET_PCT:
+        print("  <-- OVER BUDGET")
+        return False
+    return True
 
 
 def _check_chaos_overhead() -> bool:

@@ -14,6 +14,8 @@ Installed as the ``repro`` console script::
     repro stats results --critical-path         # where did the time go?
     repro stats --diff base/ candidate/         # CI regression gate
     repro dashboard results --category news     # agent x month operator view
+    repro serve-metrics results                 # Prometheus /metrics endpoint
+    repro alerts results --rules slo.toml       # SLO gate; exit 1 on firing
 """
 
 from __future__ import annotations
@@ -99,6 +101,11 @@ def build_parser() -> argparse.ArgumentParser:
     reproduce.add_argument("--telemetry-dir", metavar="DIR", default=None,
                            help="also write METRICS.json, SERIES.json and "
                                 "TRACE.jsonl into DIR")
+    reproduce.add_argument("--profile", action="store_true",
+                           help="attach tracemalloc/cProfile samplers to "
+                                "pipeline phases; prints a per-phase summary "
+                                "and writes PROFILE.json into "
+                                "--telemetry-dir when given")
     reproduce.add_argument("--incremental", action="store_true",
                            help="reuse unchanged experiment results from the "
                                 "persistent store; re-run only experiments "
@@ -192,6 +199,43 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=0)
     serve.add_argument("--requests", type=int, default=None,
                        help="exit after N requests (default: run until Ctrl-C)")
+
+    serve_metrics = sub.add_parser(
+        "serve-metrics",
+        help="Prometheus /metrics + /healthz over a telemetry export "
+             "or the live in-process registries",
+    )
+    serve_metrics.add_argument("telemetry", nargs="?", default=None,
+                               help="telemetry directory with METRICS.json/"
+                                    "SERIES.json to serve statically "
+                                    "(default: scrape the live in-process "
+                                    "registries instead)")
+    serve_metrics.add_argument("--port", type=int, default=0,
+                               help="TCP port (default: 0 = ephemeral)")
+    serve_metrics.add_argument("--requests", type=int, default=None,
+                               help="exit after N requests "
+                                    "(default: run until Ctrl-C)")
+    serve_metrics.add_argument("--interval", type=float, default=5.0,
+                               help="live-mode scrape interval in seconds "
+                                    "(default: 5)")
+    serve_metrics.add_argument("--jsonl", metavar="PATH", default=None,
+                               help="live mode: also append each scrape's "
+                                    "deltas to PATH as OTLP-style JSONL")
+
+    alerts_cmd = sub.add_parser(
+        "alerts",
+        help="evaluate SLO/alert rules over a telemetry export; "
+             "exit 1 when any rule fires (CI gate)",
+    )
+    alerts_cmd.add_argument("telemetry", nargs="?", default="results",
+                            help="telemetry directory containing METRICS.json "
+                                 "and SERIES.json (default: results)")
+    alerts_cmd.add_argument("--rules", metavar="FILE", required=True,
+                            help="declarative rule file (TOML [[rule]] tables "
+                                 "or JSON {\"rules\": [...]})")
+    alerts_cmd.add_argument("--baseline", metavar="DIR", default=None,
+                            help="baseline telemetry directory for drift "
+                                 "rules (required by kind=drift)")
 
     return parser
 
@@ -360,6 +404,7 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
             strata=args.strata,
             shards=args.shards,
             archive_dir=args.archive_dir,
+            profile=args.profile,
         )
     except ArchiveError as exc:
         # Archive problems (truncation, digest mismatch, missing shards)
@@ -388,11 +433,16 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         for key, disposition in report.incremental.items():
             note = _DISPOSITION_NOTES.get(disposition, disposition)
             print(f"  {key:12s} {disposition:16s} {note}")
+    if args.profile and report.profiler is not None:
+        print("profile (per phase):")
+        for line in report.profiler.summary_lines():
+            print(f"  {line}")
     if args.telemetry_dir:
         print(f"telemetry: {args.telemetry_dir}/METRICS.json, "
               f"{args.telemetry_dir}/SERIES.json, "
               f"{args.telemetry_dir}/TRACE.jsonl "
-              f"({len(report.spans)} spans)")
+              f"({len(report.spans)} spans)"
+              + (f", {args.telemetry_dir}/PROFILE.json" if args.profile else ""))
     return 0
 
 
@@ -606,6 +656,79 @@ def _print_shard_balance(payload) -> None:
         print(f"  archive: {archive_bytes} bytes written")
 
 
+def _print_archive_probes(payload) -> None:
+    """Per-shard archive residency, when a strata run published probes.
+
+    Reads the ``archive.*{shard=...}`` gauge families (data bytes on
+    disk, mmap'd bytes currently mapped, body-cache occupancy) written
+    by ``ArchiveSet.publish_probes``.  Silent when the run never opened
+    a sharded archive.
+    """
+    gauges = payload.get("gauges", {})
+    shards: dict = {}
+    for key, value in gauges.items():
+        if key.startswith("archive.") and "{" in key:
+            name = key.partition("{")[0]
+            field = name[len("archive."):]
+            labels = _parse_rendered_labels(key, name)
+            shard = labels.get("shard")
+            if shard is None:
+                continue
+            label = (labels.get("stratum", ""), shard)
+            shards.setdefault(label, {})[field] = value
+    if not shards:
+        return
+    print("\narchive probes (per shard):")
+    rows = []
+    for (stratum, shard), fields in sorted(shards.items()):
+        rows.append((
+            stratum or "-",
+            shard,
+            f"{fields.get('data_bytes', 0):.0f}",
+            f"{fields.get('mapped_bytes', 0):.0f}",
+            f"{fields.get('body_cache_entries', 0):.0f}",
+            f"{fields.get('body_cache_chars', 0):.0f}",
+        ))
+    print(render_table(
+        ["stratum", "shard", "data B", "mapped B", "cached bodies", "cached chars"],
+        rows,
+    ))
+
+
+def _print_profile(directory) -> None:
+    """The PROFILE.json phase table, when the run profiled.
+
+    Silent when the directory has no (or a corrupt) profile artifact --
+    profiling is opt-in and most telemetry exports won't carry one.
+    """
+    from .obs.analyze import TelemetryError
+    from .obs.profile import load_profile
+
+    try:
+        payload = load_profile(directory / "PROFILE.json")
+    except TelemetryError:
+        return
+    phases = payload.get("phases", [])
+    if not phases:
+        return
+    print(f"\nprofile ({len(phases)} phase(s)):")
+    rows = []
+    for phase in phases:
+        peak = phase.get("memory_peak_bytes")
+        delta = phase.get("memory_delta_bytes")
+        cpu = phase.get("cpu_seconds")
+        rows.append((
+            phase.get("name", "?"),
+            f"{phase.get('seconds', 0.0):.3f}",
+            f"{peak / 1e6:.2f}" if peak is not None else "-",
+            f"{delta / 1e6:+.2f}" if delta is not None else "-",
+            f"{cpu:.3f}" if cpu is not None else "-",
+        ))
+    print(render_table(
+        ["phase", "wall s", "peak MB", "delta MB", "cpu s"], rows
+    ))
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -636,6 +759,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             _print_metrics_tables(payload, str(metrics_path), args.section)
             _print_cache_effectiveness(payload)
             _print_shard_balance(payload)
+            _print_archive_probes(payload)
+            _print_profile(metrics_path.parent)
             return 0
 
         records = load_trace(trace_path)
@@ -672,12 +797,25 @@ def _cmd_dashboard(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from .crawlers.commoncrawl import month_label
-    from .obs.analyze import TelemetryError, dashboard_matrix, load_series
+    from .obs.analyze import (
+        TelemetryError,
+        dashboard_matrix,
+        known_categories,
+        load_series,
+    )
 
     try:
         series_path = Path(args.telemetry) / "SERIES.json"
-        matrix = dashboard_matrix(load_series(series_path),
-                                  category=args.category)
+        payload = load_series(series_path)
+        if args.category is not None:
+            known = known_categories(payload)
+            if args.category not in known:
+                vocabulary = ", ".join(known) if known else "(none recorded)"
+                print(f"repro dashboard: unknown category "
+                      f"{args.category!r}; known categories: {vocabulary}",
+                      file=sys.stderr)
+                return 2
+        matrix = dashboard_matrix(payload, category=args.category)
     except TelemetryError as exc:
         print(f"repro dashboard: {exc}", file=sys.stderr)
         return 2
@@ -732,6 +870,111 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_metrics(args: argparse.Namespace) -> int:
+    """Prometheus text exposition over HTTP, static or live.
+
+    With a telemetry directory: serve its METRICS.json/SERIES.json
+    exactly as written (the rendered counter totals are byte-for-byte
+    the export's).  Without one: scrape the live in-process registries
+    every ``--interval`` seconds and serve the latest cumulative state,
+    optionally streaming each scrape's deltas to ``--jsonl``.
+    """
+    import time
+    from pathlib import Path
+
+    from .obs.analyze import TelemetryError, load_metrics, load_series
+    from .obs.live import JsonlSink, LiveTelemetry, MetricsHTTPServer
+
+    live = None
+    if args.telemetry is not None:
+        directory = Path(args.telemetry)
+        try:
+            metrics_payload = load_metrics(directory / "METRICS.json")
+            series_payload = load_series(directory / "SERIES.json")
+        except TelemetryError as exc:
+            print(f"repro serve-metrics: {exc}", file=sys.stderr)
+            return 2
+        source = lambda: (metrics_payload, series_payload)  # noqa: E731
+        health = lambda: {"mode": "static", "telemetry": str(directory)}  # noqa: E731
+        server = MetricsHTTPServer(source, health=health, port=args.port)
+        label = f"static export from {directory}"
+    else:
+        live = LiveTelemetry()
+        if args.jsonl:
+            live.add_sink(JsonlSink(args.jsonl))
+        server = live.serve(port=args.port)
+        live.start(interval_seconds=args.interval)
+        label = f"live registries (scrape every {args.interval:g}s)"
+
+    if live is None:
+        server.start()
+    print(f"serving {label} at {server.url}/metrics "
+          f"(health: {server.url}/healthz)")
+    try:
+        while True:
+            if args.requests is not None and server.request_count >= args.requests:
+                break
+            time.sleep(0.05)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if live is not None:
+            live.stop()
+        server.stop()
+    print(f"handled {server.request_count} request(s)")
+    return 0
+
+
+def _cmd_alerts(args: argparse.Namespace) -> int:
+    """The SLO gate: evaluate declarative rules over a telemetry export.
+
+    Exit codes follow the CI-gate convention: 0 clean, 1 when any rule
+    fires, 2 for operator errors (bad rule file, missing telemetry,
+    drift rules without a ``--baseline``).
+    """
+    from pathlib import Path
+
+    from .obs.alerts import AlertEngine, AlertError, load_rules
+    from .obs.analyze import TelemetryError, load_metrics, load_series
+
+    try:
+        rules = load_rules(args.rules)
+    except AlertError as exc:
+        print(f"repro alerts: {exc}", file=sys.stderr)
+        return 2
+
+    directory = Path(args.telemetry)
+    try:
+        metrics_payload = load_metrics(directory / "METRICS.json")
+        series_payload = load_series(directory / "SERIES.json")
+        baseline_metrics = baseline_series = None
+        if args.baseline:
+            baseline = Path(args.baseline)
+            baseline_metrics = load_metrics(baseline / "METRICS.json")
+            baseline_series = load_series(baseline / "SERIES.json")
+    except TelemetryError as exc:
+        print(f"repro alerts: {exc}", file=sys.stderr)
+        return 2
+
+    engine = AlertEngine(rules, baseline_metrics=baseline_metrics,
+                         baseline_series=baseline_series)
+    try:
+        events = engine.evaluate(metrics=metrics_payload, series=series_payload)
+    except AlertError as exc:
+        print(f"repro alerts: {exc}", file=sys.stderr)
+        return 2
+
+    print(f"evaluated {len(rules)} rule(s) against {directory}"
+          + (f" (baseline: {args.baseline})" if args.baseline else ""))
+    if not events:
+        print("RESULT: OK -- no alerts fired")
+        return 0
+    for event in events:
+        print(f"  [{event.severity.upper():5s}] {event.rule}: {event.message}")
+    print(f"RESULT: FIRING -- {len(events)} alert(s)")
+    return 1
+
+
 _HANDLERS = {
     "check": _cmd_check,
     "classify": _cmd_classify,
@@ -745,6 +988,8 @@ _HANDLERS = {
     "stats": _cmd_stats,
     "dashboard": _cmd_dashboard,
     "serve": _cmd_serve,
+    "serve-metrics": _cmd_serve_metrics,
+    "alerts": _cmd_alerts,
 }
 
 

@@ -43,6 +43,7 @@ from ..crawlers.commoncrawl import (
 )
 from ..net import chaos
 from ..net.transport import Network
+from ..obs import live as _live
 from ..obs.metrics import metrics_enabled, shared_registry, snapshot_delta
 from ..obs.series import shared_series
 from ..obs.series import snapshot_delta as series_delta
@@ -277,6 +278,10 @@ def collect_snapshots(
             shared_series().add(
                 "delta.sites_refetched", spec.month_index, len(fetch_sites)
             )
+        # The batch pipeline's simulated-month clock drives the live
+        # telemetry plane: one scrape as each month's snapshot lands.
+        # Costs a single None check when no pipeline is installed.
+        _live.month_tick(spec.month_index)
         return snapshot
 
     tasks = list(zip(specs, plan))

@@ -237,7 +237,9 @@ class AccessLog:
                 counts["robots_fetches"] += 1
         return out
 
-    def monthly_summary(self) -> Dict[str, Dict[int, Dict[str, int]]]:
+    def monthly_summary(
+        self, fill_gaps: bool = True
+    ) -> Dict[str, Dict[int, Dict[str, int]]]:
         """Month-bucketed per-agent rollup of this log.
 
         Returns ``{agent_label: {month: {"requests": n,
@@ -246,6 +248,17 @@ class AccessLog:
         nested shape ``repro dashboard`` renders from ``SERIES.json``,
         so one renderer serves both sources.  ``blocked`` counts 403
         responses.
+
+        With *fill_gaps* (the default) every agent carries an explicit
+        zero-count entry for each month inside the log's observed
+        month range, so consumers sampling the rollup -- live
+        telemetry scrapes, dashboards -- see a contiguous axis rather
+        than holes that are ambiguous between "no traffic" and "not
+        yet sampled".  The unclocked ``-1`` bucket is never filled:
+        it marks entries recorded outside any simulated month, not a
+        month on the axis.  (Zero-count months feed
+        :class:`~repro.obs.series.Series` as zero-amount adds, which
+        record nothing -- SERIES.json bytes are unchanged.)
         """
         out: Dict[str, Dict[int, Dict[str, int]]] = {}
         for entry in self._entries:
@@ -260,6 +273,21 @@ class AccessLog:
                 counts["robots_fetches"] += 1
             if entry.status == 403:
                 counts["blocked"] += 1
+        if fill_gaps:
+            clocked = [
+                month
+                for months in out.values()
+                for month in months
+                if month >= 0
+            ]
+            if clocked:
+                axis = range(min(clocked), max(clocked) + 1)
+                for months in out.values():
+                    for month in axis:
+                        months.setdefault(
+                            month,
+                            {"requests": 0, "robots_fetches": 0, "blocked": 0},
+                        )
         return {
             agent: dict(sorted(months.items())) for agent, months in out.items()
         }

@@ -18,6 +18,14 @@ utilization, folded stacks, run diffs) lives in
 :mod:`repro.obs.analyze`, surfaced by ``repro stats`` / ``repro
 dashboard``.
 
+The live plane builds on those primitives: :mod:`repro.obs.live`
+streams snapshot-deltas of the shared registries through a bounded
+event bus into Prometheus/JSONL/HTTP sinks (``repro serve-metrics``),
+:mod:`repro.obs.alerts` evaluates declarative SLO rules over the
+exported payloads (``repro alerts``), and :mod:`repro.obs.profile`
+attaches tracemalloc/cProfile samplers to pipeline phases
+(``repro reproduce --profile``).
+
 Defaults: metrics **on** (cheap: one lock per increment on
 already-coarse call sites), tracing **off** (a disabled ``span()``
 call costs one global bool check).  :func:`disable_all` turns both off
@@ -33,6 +41,23 @@ guarantee (shared-cache hit rates are inherently scheduling-dependent).
 
 from __future__ import annotations
 
+from .alerts import (
+    AlertEngine,
+    AlertError,
+    AlertEvent,
+    AlertRule,
+    load_rules,
+)
+from .live import (
+    EventBus,
+    JsonlSink,
+    LiveTelemetry,
+    MetricsHTTPServer,
+    TelemetryEvent,
+    TelemetryScraper,
+    month_tick,
+    render_prometheus,
+)
 from .metrics import (
     Counter,
     Gauge,
@@ -51,6 +76,7 @@ from .series import (
     export_series,
     shared_series,
 )
+from .profile import PhaseProfile, Profiler
 from .series import snapshot_delta as series_snapshot_delta
 from .trace import (
     Span,
@@ -64,17 +90,32 @@ from .trace import (
 )
 
 __all__ = [
+    "AlertEngine",
+    "AlertError",
+    "AlertEvent",
+    "AlertRule",
     "Counter",
+    "EventBus",
     "Gauge",
     "Histogram",
+    "JsonlSink",
+    "LiveTelemetry",
+    "MetricsHTTPServer",
     "MetricsRegistry",
+    "PhaseProfile",
+    "Profiler",
     "Series",
     "SeriesRegistry",
     "Span",
+    "TelemetryEvent",
+    "TelemetryScraper",
     "Tracer",
     "current_span",
     "disable_all",
     "enable_all",
+    "load_rules",
+    "month_tick",
+    "render_prometheus",
     "export_metrics",
     "export_series",
     "metrics_disabled",

@@ -387,6 +387,21 @@ def diff_runs(
 BLOCKED_OUTCOMES = frozenset({"blocked_403", "reset"})
 
 
+def known_categories(series_payload: Dict[str, object]) -> List[str]:
+    """Every ``site_category`` label value the run's ``sim.requests`` saw.
+
+    The vocabulary the dashboard's ``--category`` filter validates
+    against: asking for a cohort outside this set is an operator typo,
+    not an empty matrix.
+    """
+    categories = set()
+    for rendered in series_payload.get("series", {}):
+        name, labels = parse_key(rendered)
+        if name == "sim.requests" and "site_category" in labels:
+            categories.add(labels["site_category"])
+    return sorted(categories)
+
+
 def dashboard_matrix(
     series_payload: Dict[str, object],
     category: Optional[str] = None,

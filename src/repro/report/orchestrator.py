@@ -29,12 +29,15 @@ from __future__ import annotations
 import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.compiled import shared_policy_cache
 from ..net import chaos as _chaos
+from ..obs import live as _obs_live
+from ..obs.profile import Profiler
 from ..obs.metrics import (
     MetricsRegistry,
     export_metrics,
@@ -185,6 +188,9 @@ class RunReport:
             store), ``"run:first"`` (never cached), ``"run:invalidated"``
             (inputs changed), ``"bypassed:chaos"`` (store refused while
             a fault plan was armed).
+        profiler: The :class:`~repro.obs.profile.Profiler` that sampled
+            this run, when ``run_all(profile=...)`` asked for one
+            (exported as ``PROFILE.json`` alongside the telemetry).
     """
 
     results: List[ExperimentResult] = field(default_factory=list)
@@ -195,6 +201,7 @@ class RunReport:
     mode: str = "serial"
     spans: List[Dict[str, object]] = field(default_factory=list)
     incremental: Dict[str, str] = field(default_factory=dict)
+    profiler: Optional[Profiler] = None
 
     def result_for(self, key: str) -> ExperimentResult:
         """The result for registry *key* (KeyError if not run)."""
@@ -377,6 +384,28 @@ def _validated_overrides(
     return validated
 
 
+def _resolve_profiler(profile: Union[None, bool, Profiler]) -> Optional[Profiler]:
+    """``True`` -> a fresh profiler, a profiler -> itself, falsy -> None."""
+    if isinstance(profile, Profiler):
+        return profile
+    return Profiler() if profile else None
+
+
+def _phase(profiler: Optional[Profiler], name: str, **attrs: object):
+    """A profiler phase, or a no-op context when profiling is off."""
+    if profiler is None:
+        return nullcontext()
+    return profiler.phase(name, **attrs)
+
+
+def _restore_live(previous: Optional["_obs_live.LiveTelemetry"]) -> None:
+    """Put back whatever pipeline was installed before this run."""
+    if previous is not None:
+        _obs_live.install(previous)
+    else:
+        _obs_live.uninstall()
+
+
 def _resolve_mode(mode: str, workers: int) -> str:
     if workers <= 1:
         return "serial"
@@ -409,6 +438,8 @@ def run_strata(
     archive_dir: Optional[Union[str, Path]] = None,
     store: Optional[WorldStore] = None,
     telemetry_dir: Optional[Union[str, Path]] = None,
+    live: Optional["_obs_live.LiveTelemetry"] = None,
+    profile: Union[None, bool, Profiler] = None,
 ) -> RunReport:
     """Run the streaming figure battery over one or more top-k strata.
 
@@ -435,6 +466,12 @@ def run_strata(
             ``.repro-archives`` under the working directory.
         store: World store for the backing populations.
         telemetry_dir: When given, export METRICS/SERIES/TRACE here.
+        live: A :class:`~repro.obs.live.LiveTelemetry` pipeline to
+            install for the run; it is scraped after each stratum's
+            battery and once more before export.
+        profile: ``True`` (or a :class:`~repro.obs.profile.Profiler`)
+            samples memory/CPU per stratum; exported as
+            ``PROFILE.json`` when *telemetry_dir* is given.
 
     Returns:
         A :class:`RunReport` with ``mode="strata"`` and results whose
@@ -458,13 +495,21 @@ def run_strata(
     was_tracing = tracing_enabled()
     set_tracing_enabled(True)
     run_mark = tracer.record_count()
-    report = RunReport(workers=max(1, workers or 1), mode="strata")
+    profiler = _resolve_profiler(profile)
+    previous_live = _obs_live.active()
+    if live is not None:
+        _obs_live.install(live)
+    report = RunReport(
+        workers=max(1, workers or 1), mode="strata", profiler=profiler
+    )
     try:
         total_span = span("run_strata", n_strata=len(strata), shards=shards)
         with total_span:
             for stratum in strata:
                 cfg = stratum_config(stratum, config)
-                with span("stratum", stratum=stratum):
+                with span("stratum", stratum=stratum), _phase(
+                    profiler, f"stratum:{stratum}", stratum=stratum
+                ):
                     world_span = span("archive_build", stratum=stratum)
                     with world_span:
                         archive = store.archive(
@@ -498,16 +543,31 @@ def run_strata(
                                 )
                             )
                         body.flush()
+                        # Archive-plane probes (data bytes, mmap
+                        # residency, body-cache occupancy) while the
+                        # readers are still open and mapped.
+                        archive.publish_probes(registry, stratum=stratum)
                     finally:
                         archive.close()
+                if live is not None:
+                    live.scrape()
         report.total_seconds = getattr(total_span, "duration_seconds", 0.0)
         report.spans = tracer.records_since(run_mark)
     finally:
         set_tracing_enabled(was_tracing)
+        if live is not None:
+            _restore_live(previous_live)
 
     if telemetry_dir is not None:
         shared_policy_cache().publish()
+    if live is not None:
+        # Final scrape after gauge publication: the stream's last
+        # cumulative payload matches the batch export exactly.
+        live.scrape()
+    if telemetry_dir is not None:
         report.export_telemetry(telemetry_dir, registry)
+        if profiler is not None:
+            profiler.export(telemetry_dir)
     return report
 
 
@@ -526,6 +586,8 @@ def run_all(
     strata: Optional[Sequence[str]] = None,
     shards: int = 0,
     archive_dir: Optional[Union[str, Path]] = None,
+    live: Optional["_obs_live.LiveTelemetry"] = None,
+    profile: Union[None, bool, Profiler] = None,
 ) -> RunReport:
     """Run the experiment battery over one shared world.
 
@@ -585,6 +647,19 @@ def run_all(
             path).
         shards: Shard count for strata archives (0 = automatic).
         archive_dir: Root directory for per-stratum archives.
+        live: A :class:`~repro.obs.live.LiveTelemetry` pipeline
+            installed for the duration of the run.  The snapshot
+            collector scrapes it at every simulated-month tick, and the
+            orchestrator takes one final scrape right before the
+            telemetry export -- so the stream's last cumulative payload
+            equals METRICS.json / SERIES.json exactly.
+        profile: ``True`` (or a :class:`~repro.obs.profile.Profiler`)
+            attaches memory/CPU samplers to the run's phases: the world
+            build, each experiment in serial mode, or the pooled
+            battery as one phase in thread/process mode (the stdlib
+            CPU profiler cannot follow workers).  Exported as
+            ``PROFILE.json`` when *telemetry_dir* is given; also
+            returned on :attr:`RunReport.profiler`.
 
     Returns:
         A :class:`RunReport` with results in registry order, the
@@ -604,6 +679,8 @@ def run_all(
             archive_dir=archive_dir,
             store=store,
             telemetry_dir=telemetry_dir,
+            live=live,
+            profile=profile,
         )
     global _WORKER_CONTEXT
     chaos_preactivated = _chaos.active_plan() is not None
@@ -683,6 +760,13 @@ def run_all(
     set_tracing_enabled(True)
     run_mark = tracer.record_count()
     bundle: Optional[LongitudinalBundle] = None
+    profiler = _resolve_profiler(profile)
+    # Install the live pipeline (like the fault plan: armed for the
+    # whole run) so simulated-month ticks inside the world build reach
+    # it; restored in the finally below.
+    previous_live = _obs_live.active()
+    if live is not None:
+        _obs_live.install(live)
     # Arm the fault plan for the entire run: world build, serial and
     # thread runners see it directly; fork workers inherit the armed
     # factory, so networks built inside child processes get it too.
@@ -705,7 +789,7 @@ def run_all(
                 else (WORLD_POPULATION if needs_population else WORLD_NONE)
             )
             world_span = span("world_build", world=world_kind)
-            with world_span:
+            with world_span, _phase(profiler, "world_build", world=world_kind):
                 if needs_bundle:
                     bundle = exp.build_longitudinal_bundle(
                         config, workers=collect_workers, store=store
@@ -731,16 +815,27 @@ def run_all(
                 if not to_run:
                     outcomes = []
                 elif resolved == "serial":
-                    outcomes = [_execute_experiment(key) for key in to_run]
+                    # Serial is the only mode where per-experiment CPU
+                    # attribution is truthful, so profile each key as
+                    # its own phase here and the pooled battery as one
+                    # phase below.
+                    outcomes = []
+                    for key in to_run:
+                        with _phase(profiler, f"experiment:{key}", key=key):
+                            outcomes.append(_execute_experiment(key))
                 elif resolved == "process":
                     context = multiprocessing.get_context("fork")
-                    with ProcessPoolExecutor(
+                    with _phase(
+                        profiler, "experiments", mode=resolved, workers=n_workers
+                    ), ProcessPoolExecutor(
                         max_workers=n_workers, mp_context=context
                     ) as pool:
                         outcomes = list(pool.map(_execute_experiment, to_run))
                 else:
                     live_root = total_span if hasattr(total_span, "span_id") else None
-                    with ThreadPoolExecutor(
+                    with _phase(
+                        profiler, "experiments", mode=resolved, workers=n_workers
+                    ), ThreadPoolExecutor(
                         max_workers=n_workers,
                         # Worker threads start with an empty span
                         # context; adopt the run root so the trace tree
@@ -768,6 +863,8 @@ def run_all(
         set_tracing_enabled(was_tracing)
         if inc is not None and bundle is not None:
             bundle.series.cache.attach_store(None)
+        if live is not None:
+            _restore_live(previous_live)
         if fault_plan is not None:
             if previous_chaos is None:
                 _chaos.deactivate()
@@ -779,6 +876,7 @@ def run_all(
         mode=resolved,
         world_seconds=getattr(world_span, "duration_seconds", 0.0),
         incremental=dispositions,
+        profiler=profiler,
     )
     executed: Dict[str, Tuple[float, ExperimentResult]] = {}
     for key, seconds, result, _, _, _ in outcomes:
@@ -806,7 +904,15 @@ def run_all(
         shared_policy_cache().publish()
         if bundle is not None:
             bundle.series.cache.publish()
+    if live is not None:
+        # Final scrape after gauge publication and the shipped-delta
+        # merge: the stream's last cumulative payload equals the batch
+        # export byte for byte.
+        live.scrape()
+    if telemetry_dir is not None:
         report.export_telemetry(telemetry_dir, registry)
+        if profiler is not None:
+            profiler.export(telemetry_dir)
     return report
 
 

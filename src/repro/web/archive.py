@@ -372,6 +372,7 @@ class ShardReader:
             for payload in manifest.get("error_budgets", [])
         ]
         sizes = manifest.get("sizes", {})
+        self.data_bytes = 0
         for name in _DATA_FILES:
             path = self.directory / name
             try:
@@ -384,6 +385,7 @@ class ShardReader:
                     f"truncated archive column ({actual} bytes, manifest says "
                     f"{expected}): {path}"
                 )
+            self.data_bytes += actual
         expected_records = len(self.specs) * self.n_domains * _RECORD_BYTES
         if sizes.get(_RECORDS) != expected_records:
             raise ArchiveError(
@@ -483,6 +485,29 @@ class ShardReader:
         """Release the decoded-body memo (streaming callers drop it per
         shard so resident text never exceeds one shard's bodies)."""
         self._body_texts.clear()
+
+    def probe(self) -> Dict[str, int]:
+        """Point-in-time resource occupancy of this reader.
+
+        ``data_bytes`` is the shard's on-disk column footprint,
+        ``mapped_bytes`` the bytes currently mmap-addressable (0 once
+        closed), ``body_cache_entries``/``body_cache_chars`` the
+        decoded-body memo's occupancy -- the number the streaming
+        plane's O(shard) memory model rests on.
+        """
+        mapped = sum(
+            len(mapping)
+            for mapping in (self._records_map, self._bodies_map)
+            if mapping is not None
+        )
+        return {
+            "data_bytes": self.data_bytes,
+            "mapped_bytes": mapped,
+            "body_cache_entries": len(self._body_texts),
+            "body_cache_chars": sum(
+                len(text) for text in self._body_texts.values()
+            ),
+        }
 
     def error_text(self, ref: int) -> str:
         return self.errors[ref]
@@ -642,6 +667,27 @@ class ArchiveSet:
     def body_store(self) -> "ArchiveBodyStore":
         """The archive's per-body facts backend (shared ``facts.json``)."""
         return ArchiveBodyStore(self.root)
+
+    def publish_probes(self, registry=None, stratum: Optional[str] = None) -> None:
+        """Publish per-shard archive-plane gauges into *registry*.
+
+        One gauge family per :meth:`ShardReader.probe` field, labeled
+        by shard id (and *stratum* when given):
+        ``archive.data_bytes``, ``archive.mapped_bytes``,
+        ``archive.body_cache_entries``, ``archive.body_cache_chars``,
+        plus an ``archive.open_shards`` total.  Gauges are
+        process-local point-in-time observations -- like the cache
+        stats -- and sit outside the cross-mode identity contract.
+        ``repro stats`` renders them as the archive-probe table.
+        """
+        registry = registry if registry is not None else shared_registry()
+        extra = {} if stratum is None else {"stratum": stratum}
+        for reader in self.readers:
+            probe = reader.probe()
+            shard = str(reader.shard_id)
+            for field, value in probe.items():
+                registry.set_gauge(f"archive.{field}", value, shard=shard, **extra)
+        registry.set_gauge("archive.open_shards", len(self.readers), **extra)
 
 
 # -- per-body facts ------------------------------------------------------------

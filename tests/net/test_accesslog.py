@@ -170,18 +170,62 @@ class TestMonthlySummary:
         assert summary["Bytespider"][3]["requests"] == 1
         assert summary["other"][3]["requests"] == 1
 
-    def test_months_ascending(self):
+    def test_months_ascending_with_gaps_filled(self):
         log = AccessLog()
         for month in (24, 0, 12):
             record = entry("/page")
             object.__setattr__(record, "month", month)
             log.append(record)
-        assert list(log.monthly_summary()["GPTBot"]) == [0, 12, 24]
+        assert list(log.monthly_summary()["GPTBot"]) == list(range(25))
+
+    def test_gap_months_are_explicit_zero_entries(self):
+        summary = self._log().monthly_summary()
+        # Months 1 and 2 saw no traffic from anyone; a dashboard axis
+        # still needs them, as explicit zero rows rather than holes.
+        for agent in ("GPTBot", "Bytespider", "other"):
+            assert list(summary[agent]) == [0, 1, 2, 3]
+            for month in (1, 2):
+                assert summary[agent][month] == {
+                    "requests": 0, "robots_fetches": 0, "blocked": 0,
+                }
+
+    def test_gap_fill_spans_all_agents(self):
+        # Bytespider only appears in month 3, but the shared axis starts
+        # at month 0 (GPTBot's first appearance).
+        summary = self._log().monthly_summary()
+        assert summary["Bytespider"][0]["requests"] == 0
+
+    def test_fill_gaps_false_preserves_sparse_rollup(self):
+        summary = self._log().monthly_summary(fill_gaps=False)
+        assert list(summary["GPTBot"]) == [0, 3]
+        assert list(summary["Bytespider"]) == [3]
 
     def test_unclocked_entries_land_in_minus_one(self):
         log = AccessLog()
         log.append(entry("/page"))
         assert list(log.monthly_summary()["GPTBot"]) == [-1]
+
+    def test_unclocked_bucket_never_gap_filled(self):
+        log = self._log()
+        log.append(entry("/page"))  # unclocked -> month -1
+        summary = log.monthly_summary()
+        # The -1 bucket stays out of the filled axis: clocked months get
+        # zeros, the sentinel does not leak into other agents' rows.
+        assert list(summary["GPTBot"]) == [-1, 0, 1, 2, 3]
+        assert -1 not in summary["Bytespider"]
+
+    def test_publish_unchanged_by_gap_fill(self):
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.series import SeriesRegistry
+
+        series = SeriesRegistry()
+        self._log().publish(registry=MetricsRegistry(), series=series)
+        # Zero-amount adds are no-ops, so gap-filled months must not
+        # materialize series points (SERIES.json bytes stay stable).
+        snapshot = series.snapshot()
+        assert snapshot  # publish did record the real traffic
+        for months in snapshot.values():
+            assert all(amount != 0 for amount in months.values())
 
     def test_publish_feeds_monthly_series(self):
         from repro.obs.metrics import MetricsRegistry

@@ -1,0 +1,280 @@
+"""The live telemetry plane: bus, scraper, renderer, HTTP, batch hook."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.live import (
+    EventBus,
+    JsonlSink,
+    LiveTelemetry,
+    MetricsHTTPServer,
+    TelemetryScraper,
+    active,
+    install,
+    month_tick,
+    render_prometheus,
+    uninstall,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.series import SeriesRegistry
+
+
+class TestEventBus:
+    def test_publish_assigns_monotonic_seq(self):
+        bus = EventBus()
+        first = bus.publish("scrape", {})
+        second = bus.publish("alert", {})
+        assert (first.seq, second.seq) == (1, 2)
+        assert bus.last_seq == 2
+
+    def test_ring_evicts_oldest_and_counts_drops(self):
+        bus = EventBus(capacity=3)
+        for index in range(5):
+            bus.publish("scrape", {"index": index})
+        events = bus.events()
+        assert [event.payload["index"] for event in events] == [2, 3, 4]
+        assert bus.dropped == 2
+        assert bus.last_seq == 5  # eviction never reuses sequence numbers
+
+    def test_events_filter_by_kind(self):
+        bus = EventBus()
+        bus.publish("scrape", {})
+        bus.publish("alert", {"rule": "x"})
+        assert [e.kind for e in bus.events("alert")] == ["alert"]
+
+    def test_sinks_see_every_publish(self):
+        bus = EventBus(capacity=1)
+        seen = []
+        bus.subscribe(seen.append)
+        bus.publish("scrape", {"index": 0})
+        bus.publish("scrape", {"index": 1})  # evicts, but the sink saw both
+        assert [event.payload["index"] for event in seen] == [0, 1]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            EventBus(capacity=0)
+
+    def test_event_to_json_round_trips(self):
+        event = EventBus().publish("scrape", {"a": 1}, month=3)
+        payload = json.loads(json.dumps(event.to_json()))
+        assert payload["kind"] == "scrape"
+        assert payload["month"] == 3
+        assert payload["payload"] == {"a": 1}
+
+
+class TestTelemetryScraper:
+    def _instruments(self):
+        registry = MetricsRegistry()
+        series = SeriesRegistry()
+        registry.inc("net.requests", amount=7)
+        series.add("sim.requests", month=2, amount=4, agent="GPTBot")
+        return registry, series
+
+    def test_cumulative_payload_matches_export_shape(self):
+        registry, series = self._instruments()
+        payload = TelemetryScraper(registry, series).scrape()
+        assert payload["metrics"]["counters"]["net.requests"] == 7
+        entry = payload["series"]["series"]['sim.requests{agent=GPTBot}']
+        assert entry == {"months": [2], "values": [4], "total": 4}
+
+    def test_scrape_counts_itself_before_snapshotting(self):
+        registry, series = self._instruments()
+        payload = TelemetryScraper(registry, series).scrape()
+        # The cumulative payload accounts for its own bookkeeping --
+        # this is what makes the final scrape equal the batch export.
+        assert payload["metrics"]["counters"]["live.scrapes"] == 1
+
+    def test_second_scrape_delta_is_only_what_changed(self):
+        registry, series = self._instruments()
+        scraper = TelemetryScraper(registry, series)
+        scraper.scrape()
+        registry.inc("net.requests", amount=3)
+        delta = scraper.scrape()["delta"]
+        assert delta["counters"]["net.requests"] == 3
+        assert delta["counters"]["live.scrapes"] == 1
+        assert delta["series"] == {}
+
+    def test_scrape_index_increments(self):
+        registry, series = self._instruments()
+        scraper = TelemetryScraper(registry, series)
+        assert scraper.scrape()["scrape_index"] == 1
+        assert scraper.scrape()["scrape_index"] == 2
+        assert scraper.scrapes == 2
+
+
+class TestRenderPrometheus:
+    def _payloads(self):
+        registry = MetricsRegistry()
+        series = SeriesRegistry()
+        registry.inc("net.responses", amount=5, status="200")
+        registry.set_gauge("cache.hit_rate", 0.75)
+        registry.observe("net.bytes", 10.0)
+        series.add("sim.requests", month=1, amount=2, agent="GPTBot")
+        payload = TelemetryScraper(registry, series).scrape()
+        return payload["metrics"], payload["series"]
+
+    def test_counters_render_with_total_suffix_and_labels(self):
+        metrics, series = self._payloads()
+        text = render_prometheus(metrics, series)
+        assert 'net_responses_total{status="200"} 5' in text
+        assert "# TYPE net_responses_total counter" in text
+
+    def test_gauges_render_bare(self):
+        metrics, series = self._payloads()
+        assert "cache_hit_rate 0.75" in render_prometheus(metrics, series)
+
+    def test_histograms_render_cumulative_buckets(self):
+        metrics, series = self._payloads()
+        text = render_prometheus(metrics, series)
+        assert 'net_bytes_bucket{le="+Inf"} 1' in text
+        assert "net_bytes_count 1" in text
+        assert "net_bytes_sum 10" in text
+
+    def test_series_render_with_monthly_suffix(self):
+        metrics, series = self._payloads()
+        text = render_prometheus(metrics, series)
+        assert 'sim_requests_monthly{agent="GPTBot",month="1"} 2' in text
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.inc("net.errors", kind='say "hi"\nnow')
+        payload = TelemetryScraper(registry, SeriesRegistry()).scrape()
+        text = render_prometheus(payload["metrics"], None)
+        assert 'kind="say \\"hi\\"\\nnow"' in text
+
+    def test_every_line_is_comment_or_sample(self):
+        metrics, series = self._payloads()
+        for line in render_prometheus(metrics, series).splitlines():
+            assert line.startswith("#") or len(line.rsplit(" ", 1)) == 2
+
+
+class TestJsonlSink:
+    def test_scrape_events_ship_deltas_not_cumulative(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.inc("net.requests")
+        path = tmp_path / "stream.jsonl"
+        live = LiveTelemetry(registry=registry, series=SeriesRegistry())
+        sink = JsonlSink(path)
+        live.add_sink(sink)
+        live.scrape(month=4)
+        sink.close()
+        record = json.loads(path.read_text().strip())
+        assert record["kind"] == "scrape"
+        assert record["month"] == 4
+        assert record["deltas"]["counters"]["net.requests"] == 1
+        assert "metrics" not in record  # cumulative state stays off the wire
+
+    def test_sink_appends_one_line_per_event(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        sink = JsonlSink(path)
+        bus = EventBus()
+        bus.subscribe(sink)
+        bus.publish("alert", {"rule": "r"})
+        bus.publish("alert", {"rule": "r"})
+        sink.close()
+        assert len(path.read_text().strip().splitlines()) == 2
+
+
+class TestMetricsHTTPServer:
+    def _serve(self):
+        registry = MetricsRegistry()
+        registry.inc("net.requests", amount=9)
+        scraper = TelemetryScraper(registry, SeriesRegistry())
+
+        def source():
+            payload = scraper.scrape()
+            return payload["metrics"], payload["series"]
+
+        return MetricsHTTPServer(source, health=lambda: {"mode": "test"}).start()
+
+    def test_metrics_route_serves_prometheus_text(self):
+        server = self._serve()
+        try:
+            with urllib.request.urlopen(f"{server.url}/metrics") as response:
+                body = response.read().decode()
+                assert response.headers["Content-Type"].startswith("text/plain")
+            assert "net_requests_total 9" in body
+        finally:
+            server.stop()
+
+    def test_healthz_merges_custom_payload(self):
+        server = self._serve()
+        try:
+            with urllib.request.urlopen(f"{server.url}/healthz") as response:
+                payload = json.loads(response.read())
+            assert payload["status"] == "ok"
+            assert payload["mode"] == "test"
+        finally:
+            server.stop()
+
+    def test_unknown_route_is_404(self):
+        server = self._serve()
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(f"{server.url}/nope")
+            assert excinfo.value.code == 404
+        finally:
+            server.stop()
+
+
+class TestBatchHook:
+    def teardown_method(self):
+        uninstall()
+
+    def test_month_tick_noop_without_pipeline(self):
+        uninstall()
+        assert month_tick(3) is None
+
+    def test_month_tick_drives_installed_pipeline(self):
+        registry = MetricsRegistry()
+        live = LiveTelemetry(registry=registry, series=SeriesRegistry())
+        install(live)
+        assert active() is live
+        event = month_tick(5)
+        assert event is not None and event.month == 5
+        assert live.latest()["metrics"]["counters"]["live.scrapes"] == 1
+
+    def test_uninstall_detaches(self):
+        install(LiveTelemetry(registry=MetricsRegistry(),
+                              series=SeriesRegistry()))
+        uninstall()
+        assert active() is None
+        assert month_tick(0) is None
+
+
+class TestLiveTelemetry:
+    def test_alert_engine_firings_publish_and_count(self):
+        registry = MetricsRegistry()
+        registry.inc("net.errors", amount=10)
+
+        class Engine:
+            def evaluate(self, metrics=None, series=None):
+                from repro.obs.alerts import AlertEvent
+
+                return [AlertEvent(rule="r", kind="threshold", severity="warn",
+                                   message="m", value=1.0, threshold=0.0)]
+
+        live = LiveTelemetry(registry=registry, series=SeriesRegistry(),
+                             alert_engine=Engine())
+        live.scrape()
+        alerts = live.bus.events("alert")
+        assert len(alerts) == 1 and alerts[0].payload["rule"] == "r"
+        assert registry.counter_totals("alerts.fired")["alerts.fired{rule=r}"] == 1
+
+    def test_serve_scrapes_on_demand(self):
+        registry = MetricsRegistry()
+        registry.inc("net.requests", amount=2)
+        live = LiveTelemetry(registry=registry, series=SeriesRegistry())
+        server = live.serve()
+        try:
+            body = urllib.request.urlopen(f"{server.url}/metrics").read().decode()
+            assert "net_requests_total 2" in body
+            health = json.loads(
+                urllib.request.urlopen(f"{server.url}/healthz").read()
+            )
+            assert health["scrapes"] == 1
+        finally:
+            server.stop()

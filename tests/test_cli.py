@@ -1,5 +1,7 @@
 """Tests for the repro command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -385,3 +387,202 @@ class TestStrataCLI:
         out = capsys.readouterr().out
         assert "collect: 40 sites over 2 shard(s), peak 30 (1.50x mean)" in out
         assert "archive: 4096 bytes written" in out
+
+
+class TestServeMetrics:
+    """The Prometheus endpoint: static exports and error contract."""
+
+    def _serve_and_fetch(self, argv, paths):
+        """Run ``serve-metrics`` on a thread; fetch *paths*; return bodies."""
+        import contextlib
+        import io
+        import re
+        import threading
+        import time
+        import urllib.request
+
+        buffer = io.StringIO()
+        codes = []
+
+        def run():
+            with contextlib.redirect_stdout(buffer):
+                codes.append(main(argv + ["--requests", str(len(paths))]))
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        url = None
+        for _ in range(200):
+            match = re.search(r"(http://127\.0\.0\.1:\d+)/metrics",
+                              buffer.getvalue())
+            if match:
+                url = match.group(1)
+                break
+            time.sleep(0.02)
+        assert url, "serve-metrics never announced its endpoint"
+        bodies = [
+            urllib.request.urlopen(f"{url}{path}").read().decode()
+            for path in paths
+        ]
+        thread.join(timeout=10)
+        assert codes == [0]
+        return bodies
+
+    def test_static_export_serves_identical_totals(self, tmp_path):
+        from tests.obs.test_analyze import write_telemetry
+
+        telemetry = write_telemetry(tmp_path / "t")
+        metrics_text, health_text = self._serve_and_fetch(
+            ["serve-metrics", str(telemetry)], ["/metrics", "/healthz"]
+        )
+        # The rendered counter total is the METRICS.json value exactly.
+        assert 'crawl_fetches_total{agent="GPTBot"} 100' in metrics_text
+        assert "measure_policy_cache_hit_rate 0.9" in metrics_text
+        # Series render on the monthly suffix with the month label.
+        assert ('sim_requests_monthly{agent="GPTBot",outcome="served",'
+                'site_category="news",month="1"} 20') in metrics_text
+        health = json.loads(health_text)
+        assert health["mode"] == "static"
+
+    def test_missing_export_is_one_line_error(self, tmp_path, capsys):
+        assert main(["serve-metrics", str(tmp_path)]) == 2
+        err = capsys.readouterr().err
+        assert "missing telemetry artifact" in err
+        assert "Traceback" not in err
+
+
+class TestAlerts:
+    """The SLO gate command: exit 1 firing, 0 clean, 2 operator error."""
+
+    @pytest.fixture()
+    def telemetry(self, tmp_path):
+        from tests.obs.test_analyze import write_telemetry
+
+        return write_telemetry(tmp_path / "t")
+
+    def _rules(self, tmp_path, body):
+        path = tmp_path / "rules.toml"
+        path.write_text(body)
+        return str(path)
+
+    def test_seeded_burn_rate_breach_exits_one(self, telemetry, tmp_path, capsys):
+        # Month 1 serves 25 requests of which 5 are blocked -- a 20%
+        # burn against a 10% objective.
+        rules = self._rules(tmp_path, (
+            '[[rule]]\n'
+            'name = "blocked-burn"\n'
+            'kind = "burn_rate"\n'
+            'series = "sim.requests"\n'
+            'labels = {outcome = "blocked_403"}\n'
+            'total_labels = {}\n'
+            'window = 1\n'
+            'threshold = 0.1\n'
+        ))
+        assert main(["alerts", str(telemetry), "--rules", rules]) == 1
+        out = capsys.readouterr().out
+        assert "blocked-burn" in out and "FIRING" in out
+
+    def test_clean_baseline_exits_zero(self, telemetry, tmp_path, capsys):
+        rules = self._rules(tmp_path, (
+            '[[rule]]\n'
+            'name = "blocked-burn"\n'
+            'kind = "burn_rate"\n'
+            'series = "sim.requests"\n'
+            'labels = {outcome = "blocked_403"}\n'
+            'total_labels = {}\n'
+            'window = 1\n'
+            'threshold = 0.99\n'
+        ))
+        assert main(["alerts", str(telemetry), "--rules", rules]) == 0
+        assert "RESULT: OK" in capsys.readouterr().out
+
+    def test_bad_rules_file_is_one_line_error(self, telemetry, tmp_path, capsys):
+        rules = self._rules(tmp_path, '[[rule]]\nname = "x"\nkind = "sorcery"\n')
+        assert main(["alerts", str(telemetry), "--rules", rules]) == 2
+        err = capsys.readouterr().err
+        assert "unknown kind" in err and "Traceback" not in err
+
+    def test_drift_without_baseline_is_operator_error(
+        self, telemetry, tmp_path, capsys
+    ):
+        rules = self._rules(tmp_path, (
+            '[[rule]]\n'
+            'name = "fetch-drift"\n'
+            'kind = "drift"\n'
+            'counter = "crawl.fetches"\n'
+            'threshold = 0.25\n'
+        ))
+        assert main(["alerts", str(telemetry), "--rules", rules]) == 2
+        assert "needs a baseline" in capsys.readouterr().err
+
+    def test_drift_against_baseline_fires(self, telemetry, tmp_path, capsys):
+        from tests.obs.test_analyze import METRICS, SERIES, write_telemetry
+
+        halved = json.loads(json.dumps(METRICS))
+        halved["counters"]["crawl.fetches{agent=GPTBot}"] = 50
+        baseline = write_telemetry(tmp_path / "base", metrics=halved,
+                                   series=SERIES)
+        rules = self._rules(tmp_path, (
+            '[[rule]]\n'
+            'name = "fetch-drift"\n'
+            'kind = "drift"\n'
+            'counter = "crawl.fetches"\n'
+            'threshold = 0.25\n'
+        ))
+        assert main(["alerts", str(telemetry), "--rules", rules,
+                     "--baseline", str(baseline)]) == 1
+        assert "fetch-drift" in capsys.readouterr().out
+
+    def test_missing_telemetry_is_one_line_error(self, tmp_path, capsys):
+        rules = self._rules(tmp_path, (
+            '[[rule]]\nname = "x"\nkind = "threshold"\ncounter = "c"\n'
+        ))
+        assert main(["alerts", str(tmp_path / "nowhere"),
+                     "--rules", rules]) == 2
+        assert "missing telemetry artifact" in capsys.readouterr().err
+
+
+class TestDashboardCategories:
+    def test_unknown_category_is_one_line_exit_two(self, tmp_path, capsys):
+        from tests.obs.test_analyze import write_telemetry
+
+        telemetry = write_telemetry(tmp_path / "t")
+        assert main(["dashboard", str(telemetry),
+                     "--category", "nosuch"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown category 'nosuch'" in err
+        assert "blog" in err and "news" in err  # the valid vocabulary
+        assert err.count("\n") == 1
+
+    def test_known_category_still_renders(self, tmp_path, capsys):
+        from tests.obs.test_analyze import write_telemetry
+
+        telemetry = write_telemetry(tmp_path / "t")
+        assert main(["dashboard", str(telemetry), "--category", "blog"]) == 0
+        assert "CCBot" in capsys.readouterr().out
+
+
+class TestReproduceProfile:
+    def test_profile_flag_prints_phases_and_exports(self, tmp_path, capsys,
+                                                    monkeypatch):
+        from repro import cli
+        from repro.web.population import PopulationConfig
+
+        monkeypatch.setattr(
+            cli,
+            "_fast_config",
+            lambda: PopulationConfig(
+                universe_size=300, list_size=200, top5k_cut=30,
+                audit_size=60, seed=11,
+            ),
+        )
+        telemetry = tmp_path / "tele"
+        assert main(["reproduce", "--fast", "--only", "sec62",
+                     "--profile", "--telemetry-dir", str(telemetry)]) == 0
+        out = capsys.readouterr().out
+        assert "profile (per phase)" in out
+        assert "world_build" in out and "experiment:sec62" in out
+        assert (telemetry / "PROFILE.json").exists()
+        payload = json.loads((telemetry / "PROFILE.json").read_text())
+        assert [p["name"] for p in payload["phases"]] == [
+            "world_build", "experiment:sec62",
+        ]

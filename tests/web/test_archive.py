@@ -212,3 +212,37 @@ class TestBodyStore:
         fresh = PolicyCache()
         fresh.attach_store(ArchiveBodyStore(tmp_path))
         assert fresh.fully_disallows_any(ROBOTS_A, ["GPTBot"], require_explicit=True)
+
+
+class TestProbes:
+    def test_reader_probe_reports_residency(self, archive_root):
+        reader = ShardReader(archive_root / shard_dir_name(0))
+        probe = reader.probe()
+        assert probe["data_bytes"] > 0
+        assert probe["mapped_bytes"] > 0
+        assert probe["body_cache_entries"] == 0  # nothing decoded yet
+        reader.body_text(0)
+        probe = reader.probe()
+        assert probe["body_cache_entries"] == 1
+        assert probe["body_cache_chars"] == len(ROBOTS_A)
+        reader.close()
+        assert reader.probe()["mapped_bytes"] == 0
+
+    def test_publish_probes_gauges_per_shard(self, archive_root):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        with ArchiveSet.open(archive_root) as archive:
+            archive.publish_probes(registry, stratum="top-1k")
+        from repro.obs.metrics import render_key
+
+        gauges = registry.snapshot()["gauges"]
+        rendered = {render_key(key): value for key, value in gauges.items()}
+        assert rendered["archive.open_shards{stratum=top-1k}"] == 2
+        for shard in ("0", "1"):
+            key = f"archive.data_bytes{{shard={shard},stratum=top-1k}}"
+            assert rendered[key] > 0
+        assert any(
+            key.startswith("archive.mapped_bytes{") and value > 0
+            for key, value in rendered.items()
+        )
