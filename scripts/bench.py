@@ -32,6 +32,7 @@ RESULTS = REPO / "benchmarks" / "output" / "BENCH_RESULTS.json"
 OBS_OVERHEAD = REPO / "benchmarks" / "output" / "OBS_OVERHEAD.json"
 CHAOS_OVERHEAD = REPO / "benchmarks" / "output" / "CHAOS_OVERHEAD.json"
 LIVE_OVERHEAD = REPO / "benchmarks" / "output" / "LIVE_OVERHEAD.json"
+LOG_OVERHEAD = REPO / "benchmarks" / "output" / "LOG_OVERHEAD.json"
 INCREMENTAL = REPO / "benchmarks" / "output" / "INCREMENTAL.json"
 SCALE = REPO / "benchmarks" / "output" / "SCALE.json"
 
@@ -47,6 +48,10 @@ CHAOS_OVERHEAD_BUDGET_PCT = 1.0
 #: tick) may imply at most this much slowdown on the Figure 2 pipeline
 #: (percent; see bench_live_overhead.py).
 LIVE_OVERHEAD_BUDGET_PCT = 1.0
+
+#: An installed wide-event log sink may imply at most this much
+#: slowdown on the collection crawl (percent; see bench_logstore.py).
+LOG_OVERHEAD_BUDGET_PCT = 1.0
 
 #: A warm incremental battery must beat the cold run by at least this
 #: factor (see bench_incremental.py).
@@ -166,9 +171,11 @@ def main() -> int:
     obs_ok = _check_obs_overhead()
     chaos_ok = _check_chaos_overhead()
     live_ok = _check_live_overhead()
+    log_ok = _check_log_overhead()
     incremental_ok = _check_incremental()
     scale_ok = _check_scale()
-    overhead_ok = obs_ok and chaos_ok and live_ok and incremental_ok and scale_ok
+    overhead_ok = (obs_ok and chaos_ok and live_ok and log_ok
+                   and incremental_ok and scale_ok)
 
     if regressions:
         print(f"\n{len(regressions)} bench(es) regressed more than "
@@ -280,6 +287,27 @@ def _check_live_overhead() -> bool:
           f"cost on figure2: {implied:.3f}% "
           f"(budget {LIVE_OVERHEAD_BUDGET_PCT:.1f}%)")
     if implied > LIVE_OVERHEAD_BUDGET_PCT:
+        print("  <-- OVER BUDGET")
+        return False
+    return True
+
+
+def _check_log_overhead() -> bool:
+    """Gate the installed-sink budget from LOG_OVERHEAD.json."""
+    if not LOG_OVERHEAD.exists():
+        return True  # bench deselected this run; nothing to check
+    try:
+        payload = json.loads(LOG_OVERHEAD.read_text())
+    except (ValueError, OSError):
+        print(f"warning: unreadable {LOG_OVERHEAD}")
+        return True
+    implied = payload.get("implied_overhead_pct")
+    if implied is None:
+        return True
+    print(f"\n== wide-event log overhead ==\n  implied installed-sink "
+          f"cost on the collection crawl: {implied:.3f}% "
+          f"(budget {LOG_OVERHEAD_BUDGET_PCT:.1f}%)")
+    if implied > LOG_OVERHEAD_BUDGET_PCT:
         print("  <-- OVER BUDGET")
         return False
     return True

@@ -16,6 +16,7 @@ Installed as the ``repro`` console script::
     repro dashboard results --category news     # agent x month operator view
     repro serve-metrics results                 # Prometheus /metrics endpoint
     repro alerts results --rules slo.toml       # SLO gate; exit 1 on firing
+    repro logs results/logs top path            # query the wide-event store
 """
 
 from __future__ import annotations
@@ -46,6 +47,10 @@ EXPERIMENT_IDS = [
 #: Named population strata (mirrors repro.web.tranco.STRATUM_SIZES,
 #: spelled out for the same lightweight-argparse reason).
 STRATUM_IDS = ["top-1k", "top-10k", "top-100k", "top-1m"]
+
+#: Dimensions ``repro logs`` can group/rank by (mirrors
+#: repro.obs.logql.DIMENSIONS, spelled out for the same reason).
+LOG_DIMENSIONS = ["agent", "category", "host", "month", "outcome", "path", "status"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -136,6 +141,11 @@ def build_parser() -> argparse.ArgumentParser:
                            help="per-stratum archive root for --strata "
                                 "(default: .repro-archives); matching "
                                 "archives are reopened without re-crawling")
+    reproduce.add_argument("--log-dir", metavar="DIR", default=None,
+                           help="also archive every simulated request as a "
+                                "sharded columnar log store under DIR and "
+                                "derive per-(agent, host) traffic features "
+                                "(FEATURES.json); query with `repro logs`")
 
     chaos_cmd = sub.add_parser(
         "chaos",
@@ -183,6 +193,10 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--threshold", type=float, default=0.25,
                        help="relative-change threshold for --diff "
                             "(default: 0.25)")
+    stats.add_argument("--from-logs", action="store_true",
+                       help="treat TELEMETRY as a wide-event log store "
+                            "directory and summarize its records instead "
+                            "of reading METRICS.json")
 
     dashboard = sub.add_parser(
         "dashboard",
@@ -193,6 +207,10 @@ def build_parser() -> argparse.ArgumentParser:
                                 "(default: results)")
     dashboard.add_argument("--category", default=None,
                            help="restrict to one site_category cohort")
+    dashboard.add_argument("--from-logs", action="store_true",
+                           help="treat TELEMETRY as a wide-event log store "
+                                "directory and rebuild the matrix from raw "
+                                "records instead of SERIES.json")
 
     serve = sub.add_parser("serve", help="serve a directory over localhost HTTP")
     serve.add_argument("directory")
@@ -236,6 +254,52 @@ def build_parser() -> argparse.ArgumentParser:
     alerts_cmd.add_argument("--baseline", metavar="DIR", default=None,
                             help="baseline telemetry directory for drift "
                                  "rules (required by kind=drift)")
+    alerts_cmd.add_argument("--log-store", metavar="DIR", default=None,
+                            help="wide-event log store directory "
+                                 "(required by kind=log_volume)")
+
+    logs = sub.add_parser(
+        "logs",
+        help="query the request-plane wide-event log store",
+    )
+    logs.add_argument("log_dir",
+                      help="log-store directory written by "
+                           "`repro reproduce --log-dir`")
+    logs_sub = logs.add_subparsers(dest="logs_command", required=True)
+
+    def _add_log_filters(command: argparse.ArgumentParser) -> None:
+        command.add_argument("--agent", default=None,
+                             help="keep one agent label (e.g. GPTBot)")
+        command.add_argument("--host", default=None, help="keep one host")
+        command.add_argument("--outcome", default=None,
+                             help="keep one outcome (served, blocked_403, ...)")
+        command.add_argument("--site-category", dest="category", default=None,
+                             help="keep one site category cohort")
+        command.add_argument("--month", type=int, default=None,
+                             help="keep one simulated month index")
+        command.add_argument("--robots-only", action="store_true",
+                             help="keep robots.txt fetches only")
+
+    logs_query = logs_sub.add_parser(
+        "query", help="print matching records in global-sequence order")
+    _add_log_filters(logs_query)
+    logs_query.add_argument("--limit", type=int, default=20,
+                            help="stop after N records (default: 20)")
+
+    logs_top = logs_sub.add_parser(
+        "top", help="rank the most-requested values of one dimension")
+    logs_top.add_argument("dimension", choices=LOG_DIMENSIONS)
+    _add_log_filters(logs_top)
+    logs_top.add_argument("-k", type=int, default=10,
+                          help="list the top K values (default: 10)")
+
+    logs_timeline = logs_sub.add_parser(
+        "timeline", help="per-agent monthly request-count matrix")
+    _add_log_filters(logs_timeline)
+
+    logs_sub.add_parser(
+        "verify",
+        help="re-hash every shard and check record geometry/ordering")
 
     return parser
 
@@ -375,6 +439,7 @@ _DISPOSITION_NOTES = {
 
 
 def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from .net.logstore import LogStoreError
     from .report.orchestrator import run_all
     from .web.archive import ArchiveError
 
@@ -405,10 +470,12 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
             shards=args.shards,
             archive_dir=args.archive_dir,
             profile=args.profile,
+            log_dir=args.log_dir,
         )
-    except ArchiveError as exc:
-        # Archive problems (truncation, digest mismatch, missing shards)
-        # surface as one operator-facing line, never a traceback.
+    except (ArchiveError, LogStoreError) as exc:
+        # Archive/log-store problems (truncation, digest mismatch,
+        # missing shards) surface as one operator-facing line, never a
+        # traceback.
         print(f"repro reproduce: {exc}", file=sys.stderr)
         return 2
     except (KeyError, ValueError) as exc:
@@ -443,6 +510,11 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
               f"{args.telemetry_dir}/TRACE.jsonl "
               f"({len(report.spans)} spans)"
               + (f", {args.telemetry_dir}/PROFILE.json" if args.profile else ""))
+    if args.log_dir:
+        features_dir = args.telemetry_dir or args.log_dir
+        print(f"log store: {args.log_dir} "
+              f"(features: {features_dir}/FEATURES.json; "
+              f"query with `repro logs {args.log_dir} ...`)")
     return 0
 
 
@@ -729,6 +801,32 @@ def _print_profile(directory) -> None:
     ))
 
 
+def _cmd_stats_from_logs(target: str) -> int:
+    """``repro stats --from-logs``: summarize a log store's records."""
+    from .net.logstore import LogStore, LogStoreError
+    from .obs.logql import LogFilter, group_by, query, top_k
+
+    try:
+        with LogStore.open(target) as store:
+            digest = store.config_digest[:12] if store.config_digest else "-"
+            print(f"log store: {target} ({store.n_records} record(s), "
+                  f"{store.n_shards} shard(s), config {digest})")
+            outcomes = group_by(store, ("outcome",))
+            robots = len(query(store, LogFilter(robots_only=True)))
+            agents = top_k(store, "agent", k=10)
+    except LogStoreError as exc:
+        print(f"repro stats: {exc}", file=sys.stderr)
+        return 2
+
+    rows = [(outcome, count) for (outcome,), count in outcomes.items()]
+    print(f"\noutcomes ({len(rows)}):")
+    print(render_table(["outcome", "requests"], rows) if rows else "  (none)")
+    print(f"\nrobots.txt fetches: {robots}")
+    print(f"\ntop agents ({len(agents)}):")
+    print(render_table(["agent", "requests"], agents) if agents else "  (none)")
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -741,6 +839,9 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         load_trace,
         worker_utilization,
     )
+
+    if args.from_logs:
+        return _cmd_stats_from_logs(args.telemetry)
 
     try:
         if args.diff is not None:
@@ -793,6 +894,50 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         return 2
 
 
+def _dashboard_matrix_from_logs(target: str, category):
+    """The dashboard's ``{agent: {month: cell}}`` shape from raw records.
+
+    Returns ``(matrix, source_label)`` or raises SystemExit-free errors
+    via the ``(None, exit_code)`` convention the caller unwraps.
+    """
+    from .net.logstore import LogStore, LogStoreError
+    from .obs.analyze import BLOCKED_OUTCOMES
+    from .obs.logql import LogFilter, group_by
+
+    try:
+        with LogStore.open(target) as store:
+            if category is not None:
+                known = sorted(
+                    value for (value,) in group_by(store, ("category",))
+                )
+                if category not in known:
+                    vocabulary = ", ".join(known) if known else "(none recorded)"
+                    print(f"repro dashboard: unknown category "
+                          f"{category!r}; known categories: {vocabulary}",
+                          file=sys.stderr)
+                    return None, 2
+            counts = group_by(
+                store,
+                ("agent", "month", "outcome"),
+                LogFilter(category=category) if category else None,
+            )
+    except LogStoreError as exc:
+        print(f"repro dashboard: {exc}", file=sys.stderr)
+        return None, 2
+
+    matrix: dict = {}
+    for (agent, month, outcome), n in counts.items():
+        cell = matrix.setdefault(agent, {}).setdefault(
+            month, {"requests": 0, "blocked": 0, "challenged": 0}
+        )
+        cell["requests"] += n
+        if outcome in BLOCKED_OUTCOMES:
+            cell["blocked"] += n
+        elif outcome == "challenged":
+            cell["challenged"] += n
+    return matrix, 0
+
+
 def _cmd_dashboard(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -804,25 +949,33 @@ def _cmd_dashboard(args: argparse.Namespace) -> int:
         load_series,
     )
 
-    try:
-        series_path = Path(args.telemetry) / "SERIES.json"
-        payload = load_series(series_path)
-        if args.category is not None:
-            known = known_categories(payload)
-            if args.category not in known:
-                vocabulary = ", ".join(known) if known else "(none recorded)"
-                print(f"repro dashboard: unknown category "
-                      f"{args.category!r}; known categories: {vocabulary}",
-                      file=sys.stderr)
-                return 2
-        matrix = dashboard_matrix(payload, category=args.category)
-    except TelemetryError as exc:
-        print(f"repro dashboard: {exc}", file=sys.stderr)
-        return 2
-
     cohort = f"site_category={args.category}" if args.category else "all sites"
+    if args.from_logs:
+        matrix, code = _dashboard_matrix_from_logs(args.telemetry, args.category)
+        if matrix is None:
+            return code
+        source = f"log store {args.telemetry}"
+    else:
+        try:
+            series_path = Path(args.telemetry) / "SERIES.json"
+            payload = load_series(series_path)
+            if args.category is not None:
+                known = known_categories(payload)
+                if args.category not in known:
+                    vocabulary = ", ".join(known) if known else "(none recorded)"
+                    print(f"repro dashboard: unknown category "
+                          f"{args.category!r}; known categories: {vocabulary}",
+                          file=sys.stderr)
+                    return 2
+            matrix = dashboard_matrix(payload, category=args.category)
+        except TelemetryError as exc:
+            print(f"repro dashboard: {exc}", file=sys.stderr)
+            return 2
+        source = str(series_path)
+
     if not matrix:
-        print(f"no sim.requests series for {cohort} in {series_path}")
+        print(f"no {'records' if args.from_logs else 'sim.requests series'} "
+              f"for {cohort} in {source}")
         return 0
 
     months = sorted({m for rows in matrix.values() for m in rows})
@@ -956,16 +1109,31 @@ def _cmd_alerts(args: argparse.Namespace) -> int:
         print(f"repro alerts: {exc}", file=sys.stderr)
         return 2
 
+    log_timelines = None
+    if args.log_store:
+        from .net.logstore import LogStore, LogStoreError
+        from .obs.logql import timelines
+
+        try:
+            with LogStore.open(args.log_store) as store:
+                log_timelines = timelines(store)
+        except LogStoreError as exc:
+            print(f"repro alerts: {exc}", file=sys.stderr)
+            return 2
+
     engine = AlertEngine(rules, baseline_metrics=baseline_metrics,
                          baseline_series=baseline_series)
     try:
-        events = engine.evaluate(metrics=metrics_payload, series=series_payload)
+        events = engine.evaluate(metrics=metrics_payload,
+                                 series=series_payload,
+                                 log_timelines=log_timelines)
     except AlertError as exc:
         print(f"repro alerts: {exc}", file=sys.stderr)
         return 2
 
     print(f"evaluated {len(rules)} rule(s) against {directory}"
-          + (f" (baseline: {args.baseline})" if args.baseline else ""))
+          + (f" (baseline: {args.baseline})" if args.baseline else "")
+          + (f" (log store: {args.log_store})" if args.log_store else ""))
     if not events:
         print("RESULT: OK -- no alerts fired")
         return 0
@@ -973,6 +1141,80 @@ def _cmd_alerts(args: argparse.Namespace) -> int:
         print(f"  [{event.severity.upper():5s}] {event.rule}: {event.message}")
     print(f"RESULT: FIRING -- {len(events)} alert(s)")
     return 1
+
+
+def _cmd_logs(args: argparse.Namespace) -> int:
+    """Operator console over the wide-event log store.
+
+    Every subcommand is a pure function of the archive bytes, so
+    identical stores always print identical output.  Exit codes: 0 on
+    success, 2 for operator errors (missing/corrupt store) as one
+    stderr line.
+    """
+    from .crawlers.commoncrawl import month_label
+    from .net.logstore import LogStore, LogStoreError
+    from .obs.logql import LogFilter, query, timelines, top_k
+
+    where = LogFilter(
+        agent=getattr(args, "agent", None),
+        host=getattr(args, "host", None),
+        outcome=getattr(args, "outcome", None),
+        category=getattr(args, "category", None),
+        month=getattr(args, "month", None),
+        robots_only=getattr(args, "robots_only", False),
+    )
+    try:
+        with LogStore.open(args.log_dir) as store:
+            if args.logs_command == "verify":
+                store.verify()
+                print(f"OK -- {store.n_records} record(s) across "
+                      f"{store.n_shards} shard(s) verified")
+                return 0
+
+            if args.logs_command == "query":
+                records = query(store, where, limit=max(args.limit, 0))
+                if not records:
+                    print("no matching records")
+                    return 0
+                rows = [
+                    (r.seq, month_label(r.month) if r.month >= 0 else "?",
+                     r.agent, r.host, r.path, r.status, r.outcome)
+                    for r in records
+                ]
+                print(render_table(
+                    ["seq", "month", "agent", "host", "path", "status",
+                     "outcome"],
+                    rows,
+                ))
+                print(f"\n{len(records)} record(s) "
+                      f"(of {store.n_records} in the store)")
+                return 0
+
+            if args.logs_command == "top":
+                ranked = top_k(store, args.dimension, k=args.k, where=where)
+                if not ranked:
+                    print("no matching records")
+                    return 0
+                print(render_table([args.dimension, "requests"], ranked))
+                return 0
+
+            lines = timelines(store, where)
+    except LogStoreError as exc:
+        print(f"repro logs: {exc}", file=sys.stderr)
+        return 2
+
+    if not lines:
+        print("no matching records")
+        return 0
+    months = sorted({m for per_month in lines.values() for m in per_month})
+    rows = [
+        tuple([agent] + [str(lines[agent].get(m, "-")) for m in months])
+        for agent in lines
+    ]
+    headers = ["agent"] + [month_label(m) if m >= 0 else "?" for m in months]
+    print("requests per agent per simulated month")
+    print(render_table(headers, rows))
+    return 0
 
 
 _HANDLERS = {
@@ -990,6 +1232,7 @@ _HANDLERS = {
     "serve": _cmd_serve,
     "serve-metrics": _cmd_serve_metrics,
     "alerts": _cmd_alerts,
+    "logs": _cmd_logs,
 }
 
 

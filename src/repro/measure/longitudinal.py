@@ -42,6 +42,8 @@ from ..crawlers.commoncrawl import (
     carry_forward_snapshot,
 )
 from ..net import chaos
+from ..net.accesslog import active_log_sink
+from ..net.logstore import log_stream
 from ..net.transport import Network
 from ..obs import live as _live
 from ..obs.metrics import metrics_enabled, shared_registry, snapshot_delta
@@ -259,8 +261,10 @@ def collect_snapshots(
     def collect_one(task: Tuple[SnapshotSpec, List["SimSite"]]) -> Snapshot:
         spec, fetch_sites = task
         # The span carries both clocks: wall time plus the simulated
-        # month the snapshot pertains to (the logical clock).
-        with span(
+        # month the snapshot pertains to (the logical clock).  The named
+        # wide-event stream makes the crawl's log records land in the
+        # same archive position for any worker count.
+        with log_stream(f"collect:{spec.snapshot_id}"), span(
             "collect_snapshot",
             logical=spec.month_index,
             snapshot=spec.snapshot_id,
@@ -395,20 +399,26 @@ def _crawl_shard(
 def _collect_shard(index: int):
     """Worker entry: crawl shard *index* against the ambient context.
 
-    Returns ``(snapshots_or_budgets, metrics_delta, series_delta)``.
-    In process mode the worker ships its telemetry delta (the fork
-    child's registry is a copy); with ``keep_records=False`` (archive
-    mode) only the per-spec error budgets travel back, not the records.
+    Returns ``(snapshots_or_budgets, metrics_delta, series_delta,
+    log_delta)``.  In process mode the worker ships its telemetry and
+    wide-event deltas (the fork child's registry and log sink are
+    copies); with ``keep_records=False`` (archive mode) only the
+    per-spec error budgets travel back, not the records.
     """
     context = _COLLECT_CONTEXT
     assert context is not None, "sharded collection must set the context"
     population, specs, parts, use_delta, ship, keep_records, archive = context
     registry = shared_registry()
     series = shared_series()
+    sink = active_log_sink()
     if ship:
         before = registry.snapshot()
         series_before = series.snapshot()
-    snapshots = _crawl_shard(population, specs, parts[index], use_delta)
+        sink_marks = sink.marks() if sink is not None else None
+    # One wide-event stream per shard: the shard crawls all specs
+    # sequentially in one worker, so the stream is single-writer.
+    with log_stream(f"collect-shard:{index:04d}"):
+        snapshots = _crawl_shard(population, specs, parts[index], use_delta)
     if archive is not None:
         root, n_shards, config_digest = archive
         sites = parts[index]
@@ -429,11 +439,12 @@ def _collect_shard(index: int):
         else [snapshot.error_budget for snapshot in snapshots]
     )
     if not ship:
-        return payload, None, None
+        return payload, None, None, None
     return (
         payload,
         snapshot_delta(registry.snapshot(), before),
         series_delta(series.snapshot(), series_before),
+        sink.delta(sink_marks) if sink_marks is not None else None,
     )
 
 
@@ -498,12 +509,15 @@ def _run_shard_collection(
         _COLLECT_CONTEXT = None
     registry = shared_registry()
     series = shared_series()
+    sink = active_log_sink()
     payloads: List[object] = []
-    for payload, delta_snapshot, sdelta in outputs:
+    for payload, delta_snapshot, sdelta, log_delta in outputs:
         if delta_snapshot is not None:
             registry.merge(delta_snapshot)
         if sdelta is not None:
             series.merge(sdelta)
+        if log_delta is not None and sink is not None:
+            sink.merge(log_delta)
         payloads.append(payload)
     return payloads, parts
 

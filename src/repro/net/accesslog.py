@@ -22,9 +22,14 @@ __all__ = [
     "LogEntry",
     "AccessLog",
     "agent_label",
+    "reset_agent_label_memo",
     "record_sim_request",
+    "set_log_sink",
+    "active_log_sink",
     "format_clf",
     "parse_clf_line",
+    "ingest_clf_lines",
+    "load_clf_file",
 ]
 
 #: Lowered token -> canonical label, in registry order (first match wins).
@@ -59,33 +64,108 @@ def agent_label(user_agent: str) -> str:
     return label
 
 
+def clock_ticks(now: float) -> int:
+    """Millisecond ticks on the simulated wall clock (never negative).
+
+    The wide-event ``ticks`` column stores these: integral, monotonic
+    per handler, and deterministic because every experiment/collection
+    unit drives its own :class:`~repro.net.transport.Network` clock.
+    """
+    ticks = int(round(now * 1000))
+    return ticks if ticks > 0 else 0
+
+
+def reset_agent_label_memo() -> None:
+    """Clear the process-wide UA->label memo and series-handle cache.
+
+    Test fixtures that reset the shared registries must call this too:
+    the memo caps cardinality per *process*, so UAs interned by one
+    test would otherwise shadow a later test's view, and cached series
+    handles would keep feeding registries that were already reset.
+    """
+    _AGENT_LABEL_MEMO.clear()
+    _SIM_REQUEST_SERIES.clear()
+
+
 #: ``(agent, outcome, category)`` -> series handle, cached because the
 #: request path is hot and registry probes cost a sorted-tuple build.
 _SIM_REQUEST_SERIES: Dict[tuple, object] = {}
 
+#: The installed wide-event sink (duck-typed ``emit(...)``; normally a
+#: :class:`repro.net.logstore.LogSink`).  Module-global like the shared
+#: registries: the request path cannot thread a handle through every
+#: server/proxy layer.
+_LOG_SINK = None
+
+
+def set_log_sink(sink):
+    """Install *sink* as the process-wide wide-event sink.
+
+    Returns the previously installed sink (or None) so callers can
+    restore it -- the same install/uninstall discipline the live
+    telemetry pipeline uses.
+    """
+    global _LOG_SINK
+    previous = _LOG_SINK
+    _LOG_SINK = sink
+    return previous
+
+
+def active_log_sink():
+    """The currently installed wide-event sink, or None."""
+    return _LOG_SINK
+
 
 def record_sim_request(
-    user_agent: str, outcome: str, category: str, month: int
+    user_agent: str,
+    outcome: str,
+    category: str,
+    month: int,
+    host: str = "",
+    path: str = "",
+    status: int = 0,
+    ticks: int = 0,
 ) -> None:
-    """Record one simulated request into the ``sim.requests`` series.
+    """Record one simulated request: ``sim.requests`` series + wide event.
 
     Shared by the origin server (``served`` / ``not_found``) and the
     proxy layers (``blocked_403`` / ``challenged`` / ``decoy`` /
-    ``reset``), so every request lands in the operator-view matrix
-    exactly once, at the layer that terminated it.
+    ``reset``), so every request lands in the operator-view matrix --
+    and the installed log sink -- exactly once, at the layer that
+    terminated it.  The series half is gated on :func:`metrics_enabled`;
+    the wide event fires whenever a sink is installed.  *ticks* is the
+    simulated wall clock in milliseconds (see
+    :func:`repro.net.logstore.clock_ticks`).
     """
+    sink = _LOG_SINK
+    if sink is None and not metrics_enabled():
+        return
     agent = agent_label(user_agent)
-    handle_key = (agent, outcome, category)
-    series = _SIM_REQUEST_SERIES.get(handle_key)
-    if series is None:
-        series = shared_series().series(
-            "sim.requests",
-            agent=agent,
-            outcome=outcome,
-            site_category=category or "uncategorized",
+    if metrics_enabled():
+        handle_key = (agent, outcome, category)
+        series = _SIM_REQUEST_SERIES.get(handle_key)
+        if series is None:
+            series = shared_series().series(
+                "sim.requests",
+                agent=agent,
+                outcome=outcome,
+                site_category=category or "uncategorized",
+            )
+            _SIM_REQUEST_SERIES[handle_key] = series
+        series.add(month)
+    if sink is not None:
+        sink.emit(
+            host,
+            path,
+            user_agent,
+            agent,
+            outcome,
+            category or "uncategorized",
+            month,
+            status,
+            ticks,
+            path.split("?", 1)[0] == "/robots.txt",
         )
-        _SIM_REQUEST_SERIES[handle_key] = series
-    series.add(month)
 
 
 @dataclass(frozen=True)
@@ -329,24 +409,44 @@ class AccessLog:
                 )
 
 
+def _escape_quoted(value: str) -> str:
+    """Escape a value for a double-quoted CLF field."""
+    return value.replace("\\", "\\\\").replace('"', '\\"')
+
+
+_QUOTED_ESCAPE_RE = re.compile(r"\\(.)")
+
+
+def _unescape_quoted(value: str) -> str:
+    return _QUOTED_ESCAPE_RE.sub(r"\1", value)
+
+
 def format_clf(entry: LogEntry) -> str:
     """Render an entry in Combined Log Format (fixed dummy date fields).
+
+    Quotes and backslashes inside the User-Agent are escaped so the
+    line stays parseable (real web servers do the same); month-clocked
+    entries carry their simulated month in the timestamp field
+    (``[17 m3]``), which :func:`parse_clf_line` restores.
 
     >>> line = format_clf(LogEntry(0, "1.2.3.4", "GET", "/", 200, 5, "bot"))
     >>> line.startswith('1.2.3.4 - - [')
     True
     """
+    stamp = str(int(entry.timestamp))
+    if entry.month >= 0:
+        stamp += f" m{entry.month}"
     return (
-        f'{entry.client_ip} - - [{int(entry.timestamp)}] '
+        f'{entry.client_ip} - - [{stamp}] '
         f'"{entry.method} {entry.path} HTTP/1.1" {entry.status} '
-        f'{entry.body_bytes} "-" "{entry.user_agent}"'
+        f'{entry.body_bytes} "-" "{_escape_quoted(entry.user_agent)}"'
     )
 
 
 _CLF_RE = re.compile(
     r'^(?P<ip>\S+) \S+ \S+ \[(?P<ts>[^\]]*)\] '
     r'"(?P<method>\S+) (?P<path>\S+) [^"]*" (?P<status>\d+) '
-    r'(?P<bytes>\d+|-) "[^"]*" "(?P<ua>[^"]*)"$'
+    r'(?P<bytes>\d+|-) "(?:[^"\\]|\\.)*" "(?P<ua>(?:[^"\\]|\\.)*)"$'
 )
 
 
@@ -358,10 +458,19 @@ def parse_clf_line(line: str) -> Optional[LogEntry]:
     match = _CLF_RE.match(line.strip())
     if not match:
         return None
-    try:
-        timestamp = float(match.group("ts"))
-    except ValueError:
-        timestamp = 0.0
+    stamp = match.group("ts").split()
+    timestamp = 0.0
+    month = -1
+    if stamp:
+        try:
+            timestamp = float(stamp[0])
+        except ValueError:
+            timestamp = 0.0
+        if len(stamp) > 1 and stamp[1].startswith("m"):
+            try:
+                month = int(stamp[1][1:])
+            except ValueError:
+                month = -1
     size = match.group("bytes")
     return LogEntry(
         timestamp=timestamp,
@@ -370,5 +479,44 @@ def parse_clf_line(line: str) -> Optional[LogEntry]:
         path=match.group("path"),
         status=int(match.group("status")),
         body_bytes=0 if size == "-" else int(size),
-        user_agent=match.group("ua"),
+        user_agent=_unescape_quoted(match.group("ua")),
+        month=month,
     )
+
+
+def ingest_clf_lines(lines) -> "tuple[List[LogEntry], int]":
+    """Parse an iterable of CLF lines; returns ``(entries, skipped)``.
+
+    Blank lines are ignored.  Unparseable lines are *counted*, not
+    silently dropped: the skipped total is returned and accumulated in
+    the ``net.clf_parse_errors`` counter so a bad ingest is visible in
+    the metrics export, not just smaller than expected.
+    """
+    entries: List[LogEntry] = []
+    skipped = 0
+    for line in lines:
+        if not line.strip():
+            continue
+        entry = parse_clf_line(line)
+        if entry is None:
+            skipped += 1
+            continue
+        entries.append(entry)
+    if skipped and metrics_enabled():
+        shared_registry().counter("net.clf_parse_errors").inc(skipped)
+    return entries, skipped
+
+
+def load_clf_file(path) -> "tuple[AccessLog, int]":
+    """Read a CLF file into a fresh :class:`AccessLog`.
+
+    Returns ``(log, skipped)`` where *skipped* counts unparseable lines
+    (also reported through ``net.clf_parse_errors``; see
+    :func:`ingest_clf_lines`).
+    """
+    with open(path, encoding="utf-8") as handle:
+        entries, skipped = ingest_clf_lines(handle)
+    log = AccessLog()
+    for entry in entries:
+        log.append(entry)
+    return log, skipped

@@ -1,0 +1,714 @@
+"""Columnar per-shard access-log archive: the request-plane wide events.
+
+The Section 5 testbed decides crawler compliance entirely from server
+access logs, but until now every request was summarized down to
+counters/series before anything durable existed.  This module persists
+the raw request plane: every simulated request becomes one fixed-width
+columnar record in a per-shard archive that mirrors the
+:mod:`repro.web.archive` layout -- id-interned hosts/paths/agent
+labels, a content-addressed User-Agent table, little-endian column
+blocks, atomic manifest-last commits pinned by a schema fingerprint and
+the population config digest, mmap readers, and one-line
+:class:`LogStoreError` failures.
+
+Determinism contract (the same one METRICS.json/SERIES.json honor):
+the committed archive is **byte-identical across serial/thread/fork
+scheduling at any worker count**.  Two mechanisms deliver it:
+
+* **Named streams.**  Every sequential unit of work (one experiment
+  runner, one snapshot-collection task) emits under a thread-local
+  stream label (:func:`log_stream`).  Each stream is written by exactly
+  one thread, so its internal order is the unit's own deterministic
+  request order.  At commit time streams are concatenated in sorted
+  label order and global sequence numbers are stamped over the result
+  -- scheduling decides only *when* a stream fills, never what the
+  committed bytes look like.
+* **Shipped deltas.**  Fork workers cannot write into the parent's
+  sink, so they ship per-stream event deltas (:meth:`LogSink.marks` /
+  :meth:`LogSink.delta`) exactly like metrics deltas, and the parent
+  merges them (:meth:`LogSink.merge`) before committing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import mmap
+import os
+import struct
+import threading
+from array import array
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, Iterator, List, Mapping, NamedTuple, Optional, Sequence, Tuple, Union
+
+from ..obs.metrics import metrics_enabled, shared_registry
+from ..web.archive import array_to_le_bytes, le_bytes_to_array, shard_dir_name
+from ..web.sharding import shard_count_for, shard_of
+from .accesslog import clock_ticks
+
+__all__ = [
+    "LogStoreError",
+    "LogRecord",
+    "clock_ticks",
+    "LogSink",
+    "log_stream",
+    "ShardLogWriter",
+    "LogShardReader",
+    "LogStore",
+    "LOGSTORE_SCHEMA_FINGERPRINT",
+]
+
+#: Bump any entry when the on-disk shape changes; the fingerprint shift
+#: makes every reader refuse existing archives (one-line "stale schema"
+#: error) instead of silently misreading them.
+_SCHEMA = {
+    "logstore": 1,
+    "record": [
+        "ticks:u64le",
+        "seq:u32le",
+        "host_ref:u32le",
+        "path_ref:u32le",
+        "ua_ref:u32le",
+        "agent_ref:u16le",
+        "status:u16le",
+        "month:i16le",
+        "outcome_ref:u8",
+        "flags:u8",
+        "category_ref:u8",
+    ],
+    "ua_index": ["offset:u64le", "length:u32le"],
+    "flags": ["robots_fetch"],
+}
+
+LOGSTORE_SCHEMA_FINGERPRINT = hashlib.sha256(
+    json.dumps(_SCHEMA, sort_keys=True, separators=(",", ":")).encode("utf-8")
+).hexdigest()
+
+_MANIFEST = "manifest.json"
+_HOSTS = "hosts.txt"
+_PATHS = "paths.txt"
+_AGENTS = "agents.txt"
+_OUTCOMES = "outcomes.txt"
+_CATEGORIES = "categories.txt"
+_UAS = "uas.bin"
+_UA_IDX = "uas.idx"
+_UA_SHA = "uas.sha"
+_RECORDS = "records.bin"
+
+#: Data files whose byte sizes the manifest pins (truncation check).
+_DATA_FILES = (
+    _HOSTS, _PATHS, _AGENTS, _OUTCOMES, _CATEGORIES,
+    _UAS, _UA_IDX, _UA_SHA, _RECORDS,
+)
+
+_UA_IDX_ENTRY = struct.Struct("<QI")
+
+#: Column name -> array typecode, in on-disk block order.
+_COLUMNS = (
+    ("ticks", "Q"),
+    ("seq", "I"),
+    ("host_ref", "I"),
+    ("path_ref", "I"),
+    ("ua_ref", "I"),
+    ("agent_ref", "H"),
+    ("status", "H"),
+    ("month", "h"),
+    ("outcome_ref", "B"),
+    ("flags", "B"),
+    ("category_ref", "B"),
+)
+_COLUMN_WIDTHS = {"Q": 8, "I": 4, "H": 2, "h": 2, "B": 1}
+_RECORD_BYTES = sum(_COLUMN_WIDTHS[code] for _, code in _COLUMNS)
+
+FLAG_ROBOTS_FETCH = 0x01
+
+#: Event tuple layout inside :class:`LogSink` streams (hot-path: plain
+#: tuples, decomposed only at commit time).
+_EV_HOST, _EV_PATH, _EV_UA, _EV_AGENT, _EV_OUTCOME = 0, 1, 2, 3, 4
+_EV_CATEGORY, _EV_MONTH, _EV_STATUS, _EV_TICKS, _EV_ROBOTS = 5, 6, 7, 8, 9
+
+
+class LogStoreError(Exception):
+    """A one-line, operator-facing log-store failure (corrupt, truncated,
+    missing, or schema-stale data); the message names the path."""
+
+
+class LogRecord(NamedTuple):
+    """One decoded wide-event row."""
+
+    seq: int
+    ticks: int
+    month: int
+    status: int
+    host: str
+    path: str
+    user_agent: str
+    agent: str
+    outcome: str
+    category: str
+    robots_fetch: bool
+
+
+# -- collection ----------------------------------------------------------------
+
+_STREAM_LOCAL = threading.local()
+
+#: Stream label for work not wrapped in :func:`log_stream` (module-level
+#: crawls, tests, ad-hoc driving).
+DEFAULT_STREAM = "main"
+
+
+def current_log_stream() -> str:
+    """The calling thread's active stream label."""
+    return getattr(_STREAM_LOCAL, "label", DEFAULT_STREAM)
+
+
+@contextmanager
+def log_stream(label: str):
+    """Emit this thread's wide events under *label* while active.
+
+    One stream per sequential unit of work is the determinism unit:
+    labels must be unique per unit and identical across scheduling
+    modes (e.g. ``experiment:figure2``, ``collect:2024-01``).
+    """
+    previous = current_log_stream()
+    _STREAM_LOCAL.label = label
+    try:
+        yield
+    finally:
+        _STREAM_LOCAL.label = previous
+
+
+class LogSink:
+    """In-memory wide-event collector, committed to a columnar archive.
+
+    Emission appends to the calling thread's named stream; commit
+    orders streams by label, stamps global sequence numbers, partitions
+    by host shard, and writes one :class:`ShardLogWriter` per shard.
+    """
+
+    def __init__(self) -> None:
+        self._streams: Dict[str, List[tuple]] = {}
+        self._lock = threading.Lock()
+
+    def emit(
+        self,
+        host: str,
+        path: str,
+        user_agent: str,
+        agent: str,
+        outcome: str,
+        category: str,
+        month: int,
+        status: int,
+        ticks: int,
+        robots_fetch: bool,
+    ) -> None:
+        """Record one request event into the active stream."""
+        label = current_log_stream()
+        events = self._streams.get(label)
+        if events is None:
+            with self._lock:
+                events = self._streams.setdefault(label, [])
+        events.append(
+            (host, path, user_agent, agent, outcome, category,
+             month, status, ticks, robots_fetch)
+        )
+
+    def event_count(self) -> int:
+        """Total events held across all streams."""
+        return sum(len(events) for events in self._streams.values())
+
+    def stream_labels(self) -> List[str]:
+        """Labels of non-empty streams, sorted (the commit order)."""
+        return sorted(label for label, ev in self._streams.items() if ev)
+
+    # -- fork-worker delta shipping -----------------------------------
+
+    def marks(self) -> Dict[str, int]:
+        """Per-stream high-water marks, for :meth:`delta` later."""
+        return {label: len(events) for label, events in self._streams.items()}
+
+    def delta(self, marks: Mapping[str, int]) -> Dict[str, List[tuple]]:
+        """Events emitted since *marks*, per stream (picklable payload).
+
+        A forked worker inherits the parent's pre-fork events; taking
+        marks before the unit runs and shipping only the suffix keeps
+        the parent from double-counting them on merge.
+        """
+        out: Dict[str, List[tuple]] = {}
+        for label, events in self._streams.items():
+            start = marks.get(label, 0)
+            if len(events) > start:
+                out[label] = events[start:]
+        return out
+
+    def merge(self, delta: Mapping[str, Sequence[tuple]]) -> None:
+        """Fold a shipped worker delta into this sink."""
+        with self._lock:
+            for label, events in delta.items():
+                self._streams.setdefault(label, []).extend(events)
+
+    # -- commit --------------------------------------------------------
+
+    def ordered_events(self) -> List[tuple]:
+        """All events, streams concatenated in sorted-label order."""
+        ordered: List[tuple] = []
+        for label in sorted(self._streams):
+            ordered.extend(self._streams[label])
+        return ordered
+
+    def commit(
+        self,
+        root: Union[str, Path],
+        config_digest: str = "",
+        n_shards: Optional[int] = None,
+    ) -> Path:
+        """Write the archive under *root*; returns the root directory.
+
+        Shard count defaults to the same host-count geometry the
+        snapshot archive uses (:func:`shard_count_for`), so a log store
+        and a snapshot archive of the same world agree on shape.
+        """
+        root = Path(root)
+        ordered = self.ordered_events()
+        hosts = {event[_EV_HOST] for event in ordered}
+        if n_shards is None:
+            n_shards = shard_count_for(max(len(hosts), 1))
+        shard_by_host = {host: shard_of(host, n_shards) for host in hosts}
+        writers = [
+            ShardLogWriter(root, shard_id, n_shards, config_digest)
+            for shard_id in range(n_shards)
+        ]
+        for seq, event in enumerate(ordered):
+            writers[shard_by_host[event[_EV_HOST]]].add(seq, event)
+        root.mkdir(parents=True, exist_ok=True)
+        for writer in writers:
+            writer.commit()
+        return root
+
+
+# -- writing -------------------------------------------------------------------
+
+
+class _Interner:
+    """First-reference-order string table with a reference-width cap."""
+
+    def __init__(self, what: str, cap: int):
+        self.values: List[str] = []
+        self._index: Dict[str, int] = {}
+        self._what = what
+        self._cap = cap
+
+    def ref(self, value: str) -> int:
+        ref = self._index.get(value)
+        if ref is None:
+            ref = len(self.values)
+            if ref > self._cap:
+                raise LogStoreError(
+                    f"too many distinct {self._what} for the log-store "
+                    f"schema (cap {self._cap + 1})"
+                )
+            self._index[value] = ref
+            self.values.append(value)
+        return ref
+
+
+class ShardLogWriter:
+    """Accumulates one shard's records, then commits them atomically."""
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        shard_id: int,
+        n_shards: int,
+        config_digest: str = "",
+    ):
+        self.root = Path(root)
+        self.shard_id = shard_id
+        self.n_shards = n_shards
+        self.config_digest = config_digest
+        self._hosts = _Interner("hosts", 0xFFFFFFFF)
+        self._paths = _Interner("paths", 0xFFFFFFFF)
+        self._agents = _Interner("agent labels", 0xFFFF)
+        self._outcomes = _Interner("outcomes", 0xFF)
+        self._categories = _Interner("site categories", 0xFF)
+        self._ua_blobs: List[bytes] = []
+        self._ua_digests: List[str] = []
+        self._ua_index: Dict[str, int] = {}
+        self._columns: Dict[str, array] = {
+            name: array(code) for name, code in _COLUMNS
+        }
+
+    def _ua_ref(self, user_agent: str) -> int:
+        """Content-addressed UA table: each distinct UA stored once."""
+        ref = self._ua_index.get(user_agent)
+        if ref is None:
+            blob = user_agent.encode("utf-8")
+            ref = len(self._ua_blobs)
+            self._ua_index[user_agent] = ref
+            self._ua_blobs.append(blob)
+            self._ua_digests.append(hashlib.sha256(blob).hexdigest())
+        return ref
+
+    def add(self, seq: int, event: tuple) -> None:
+        """Append one event (sink tuple layout) with global seq *seq*."""
+        cols = self._columns
+        cols["ticks"].append(event[_EV_TICKS])
+        cols["seq"].append(seq)
+        cols["host_ref"].append(self._hosts.ref(event[_EV_HOST]))
+        cols["path_ref"].append(self._paths.ref(event[_EV_PATH]))
+        cols["ua_ref"].append(self._ua_ref(event[_EV_UA]))
+        cols["agent_ref"].append(self._agents.ref(event[_EV_AGENT]))
+        cols["status"].append(event[_EV_STATUS])
+        cols["month"].append(event[_EV_MONTH])
+        cols["outcome_ref"].append(self._outcomes.ref(event[_EV_OUTCOME]))
+        cols["flags"].append(
+            FLAG_ROBOTS_FETCH if event[_EV_ROBOTS] else 0
+        )
+        cols["category_ref"].append(self._categories.ref(event[_EV_CATEGORY]))
+
+    @property
+    def n_records(self) -> int:
+        return len(self._columns["seq"])
+
+    def commit(self) -> Path:
+        """Write every file, manifest last; returns the shard directory."""
+        directory = self.root / shard_dir_name(self.shard_id)
+        directory.mkdir(parents=True, exist_ok=True)
+        # A leftover manifest from a previous commit must not make a
+        # half-overwritten shard openable: drop it before touching data.
+        manifest_path = directory / _MANIFEST
+        try:
+            manifest_path.unlink()
+        except FileNotFoundError:
+            pass
+
+        def table_blob(values: List[str]) -> bytes:
+            return ("\n".join(values) + "\n" if values else "").encode("utf-8")
+
+        blobs: Dict[str, bytes] = {}
+        blobs[_HOSTS] = table_blob(self._hosts.values)
+        blobs[_PATHS] = table_blob(self._paths.values)
+        blobs[_AGENTS] = table_blob(self._agents.values)
+        blobs[_OUTCOMES] = table_blob(self._outcomes.values)
+        blobs[_CATEGORIES] = table_blob(self._categories.values)
+        blobs[_UAS] = b"".join(self._ua_blobs)
+        index = bytearray()
+        offset = 0
+        for blob in self._ua_blobs:
+            index += _UA_IDX_ENTRY.pack(offset, len(blob))
+            offset += len(blob)
+        blobs[_UA_IDX] = bytes(index)
+        blobs[_UA_SHA] = (
+            "\n".join(self._ua_digests) + "\n" if self._ua_digests else ""
+        ).encode("ascii")
+        records = bytearray()
+        for name, _ in _COLUMNS:
+            records += array_to_le_bytes(self._columns[name])
+        blobs[_RECORDS] = bytes(records)
+
+        for name, blob in blobs.items():
+            (directory / name).write_bytes(blob)
+
+        manifest = {
+            "schema_fingerprint": LOGSTORE_SCHEMA_FINGERPRINT,
+            "config_digest": self.config_digest,
+            "shard_id": self.shard_id,
+            "n_shards": self.n_shards,
+            "n_records": self.n_records,
+            "n_hosts": len(self._hosts.values),
+            "n_paths": len(self._paths.values),
+            "n_agents": len(self._agents.values),
+            "n_outcomes": len(self._outcomes.values),
+            "n_categories": len(self._categories.values),
+            "n_uas": len(self._ua_blobs),
+            "sizes": {name: len(blobs[name]) for name in _DATA_FILES},
+        }
+        tmp = manifest_path.with_name(_MANIFEST + ".tmp")
+        manifest_blob = (
+            json.dumps(manifest, sort_keys=True, separators=(",", ":")) + "\n"
+        ).encode("utf-8")
+        tmp.write_bytes(manifest_blob)
+        os.replace(tmp, manifest_path)
+
+        if metrics_enabled():
+            total = sum(len(blob) for blob in blobs.values()) + len(manifest_blob)
+            shared_registry().counter("logstore.bytes_written").inc(total)
+        return directory
+
+
+# -- reading -------------------------------------------------------------------
+
+
+class LogShardReader:
+    """mmap-backed read access to one committed log shard."""
+
+    def __init__(self, directory: Union[str, Path]):
+        self.directory = Path(directory)
+        manifest_path = self.directory / _MANIFEST
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise LogStoreError(
+                f"not a log-store shard (no manifest): {self.directory}"
+            ) from None
+        except (OSError, ValueError) as exc:
+            raise LogStoreError(
+                f"corrupt log-store manifest: {manifest_path}: {exc}"
+            ) from None
+        fingerprint = manifest.get("schema_fingerprint")
+        if fingerprint != LOGSTORE_SCHEMA_FINGERPRINT:
+            raise LogStoreError(
+                f"stale log-store schema (rebuild the log store): "
+                f"{self.directory}"
+            )
+        self.shard_id = int(manifest["shard_id"])
+        self.n_shards = int(manifest["n_shards"])
+        self.config_digest = manifest.get("config_digest", "")
+        self.n_records = int(manifest["n_records"])
+        self.n_uas = int(manifest["n_uas"])
+        sizes = manifest.get("sizes", {})
+        self.data_bytes = 0
+        for name in _DATA_FILES:
+            path = self.directory / name
+            try:
+                actual = path.stat().st_size
+            except OSError:
+                raise LogStoreError(f"missing log-store column: {path}") from None
+            expected = sizes.get(name)
+            if expected is not None and actual != expected:
+                raise LogStoreError(
+                    f"truncated log-store column ({actual} bytes, manifest "
+                    f"says {expected}): {path}"
+                )
+            self.data_bytes += actual
+        if sizes.get(_RECORDS) != self.n_records * _RECORD_BYTES:
+            raise LogStoreError(
+                f"inconsistent record geometry ({sizes.get(_RECORDS)} bytes "
+                f"for {self.n_records} records): {self.directory / _RECORDS}"
+            )
+
+        def table(name: str, count_key: str) -> List[str]:
+            rows = (self.directory / name).read_text(encoding="utf-8").splitlines()
+            expected_rows = int(manifest[count_key])
+            if len(rows) != expected_rows:
+                raise LogStoreError(
+                    f"string table holds {len(rows)} rows, manifest says "
+                    f"{expected_rows}: {self.directory / name}"
+                )
+            return rows
+
+        self.hosts = table(_HOSTS, "n_hosts")
+        self.paths = table(_PATHS, "n_paths")
+        self.agents = table(_AGENTS, "n_agents")
+        self.outcomes = table(_OUTCOMES, "n_outcomes")
+        self.categories = table(_CATEGORIES, "n_categories")
+        idx_blob = (self.directory / _UA_IDX).read_bytes()
+        self._ua_offsets: List[Tuple[int, int]] = [
+            _UA_IDX_ENTRY.unpack_from(idx_blob, i * _UA_IDX_ENTRY.size)
+            for i in range(self.n_uas)
+        ]
+        sha_text = (self.directory / _UA_SHA).read_text(encoding="ascii")
+        self.ua_digests: List[str] = sha_text.splitlines()
+
+        self._records_file = open(self.directory / _RECORDS, "rb")
+        self._uas_file = open(self.directory / _UAS, "rb")
+        self._records_map = self._mmap(self._records_file)
+        self._uas_map = self._mmap(self._uas_file)
+        self._decoded: Dict[str, array] = {}
+        self._ua_texts: Dict[int, str] = {}
+
+    @staticmethod
+    def _mmap(handle) -> Optional[mmap.mmap]:
+        try:
+            return mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        except ValueError:
+            return None  # zero-length file; accessors slice b"" instead
+
+    def close(self) -> None:
+        """Release the mapped files (safe to call more than once)."""
+        for attr in ("_records_map", "_uas_map"):
+            mapped = getattr(self, attr, None)
+            if mapped is not None:
+                mapped.close()
+                setattr(self, attr, None)
+        for attr in ("_records_file", "_uas_file"):
+            handle = getattr(self, attr, None)
+            if handle is not None:
+                handle.close()
+                setattr(self, attr, None)
+
+    def __enter__(self) -> "LogShardReader":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def column(self, name: str) -> array:
+        """One decoded column (memoized per reader)."""
+        decoded = self._decoded.get(name)
+        if decoded is None:
+            buffer = self._records_map if self._records_map is not None else b""
+            offset = 0
+            for col_name, code in _COLUMNS:
+                width = _COLUMN_WIDTHS[code] * self.n_records
+                if col_name == name:
+                    decoded = le_bytes_to_array(
+                        code, bytes(buffer[offset:offset + width])
+                    )
+                    break
+                offset += width
+            else:
+                raise KeyError(name)
+            self._decoded[name] = decoded
+        return decoded
+
+    def ua_text(self, ref: int) -> str:
+        """User-Agent string *ref* (memoized per reader)."""
+        text = self._ua_texts.get(ref)
+        if text is None:
+            offset, length = self._ua_offsets[ref]
+            buffer = self._uas_map if self._uas_map is not None else b""
+            try:
+                text = bytes(buffer[offset:offset + length]).decode("utf-8")
+            except UnicodeDecodeError:
+                raise LogStoreError(
+                    f"corrupt UA table at ref {ref}: {self.directory / _UAS}"
+                ) from None
+            self._ua_texts[ref] = text
+        return text
+
+    def records(self) -> Iterator[LogRecord]:
+        """Decoded rows in stored (global-seq ascending) order."""
+        cols = {name: self.column(name) for name, _ in _COLUMNS}
+        for i in range(self.n_records):
+            yield LogRecord(
+                seq=cols["seq"][i],
+                ticks=cols["ticks"][i],
+                month=cols["month"][i],
+                status=cols["status"][i],
+                host=self.hosts[cols["host_ref"][i]],
+                path=self.paths[cols["path_ref"][i]],
+                user_agent=self.ua_text(cols["ua_ref"][i]),
+                agent=self.agents[cols["agent_ref"][i]],
+                outcome=self.outcomes[cols["outcome_ref"][i]],
+                category=self.categories[cols["category_ref"][i]],
+                robots_fetch=bool(cols["flags"][i] & FLAG_ROBOTS_FETCH),
+            )
+
+    def verify(self) -> Dict[str, int]:
+        """Integrity re-check beyond open-time validation.
+
+        Recomputes every UA digest against ``uas.sha`` and checks the
+        seq column is strictly ascending (the partition invariant).
+        Raises :class:`LogStoreError` on the first mismatch; returns
+        ``{"records": n, "uas": n}`` when clean.
+        """
+        if len(self.ua_digests) != self.n_uas:
+            raise LogStoreError(
+                f"UA digest table holds {len(self.ua_digests)} rows, manifest "
+                f"says {self.n_uas}: {self.directory / _UA_SHA}"
+            )
+        for ref in range(self.n_uas):
+            blob = self.ua_text(ref).encode("utf-8")
+            if hashlib.sha256(blob).hexdigest() != self.ua_digests[ref]:
+                raise LogStoreError(
+                    f"UA table digest mismatch at ref {ref}: "
+                    f"{self.directory / _UAS}"
+                )
+        seqs = self.column("seq")
+        for i in range(1, self.n_records):
+            if seqs[i] <= seqs[i - 1]:
+                raise LogStoreError(
+                    f"record sequence not ascending at row {i}: "
+                    f"{self.directory / _RECORDS}"
+                )
+        return {"records": self.n_records, "uas": self.n_uas}
+
+
+class LogStore:
+    """A validated set of log shards rooted at one directory."""
+
+    def __init__(self, root: Union[str, Path], readers: List[LogShardReader]):
+        self.root = Path(root)
+        self.shards = readers
+
+    @classmethod
+    def open(cls, root: Union[str, Path]) -> "LogStore":
+        """Open and cross-validate every shard under *root*."""
+        root = Path(root)
+        shard_dirs = sorted(
+            path for path in root.glob("shard-*") if path.is_dir()
+        )
+        if not shard_dirs:
+            raise LogStoreError(f"not a log store (no shards): {root}")
+        readers: List[LogShardReader] = []
+        try:
+            for directory in shard_dirs:
+                readers.append(LogShardReader(directory))
+            n_shards = readers[0].n_shards
+            digest = readers[0].config_digest
+            ids = sorted(reader.shard_id for reader in readers)
+            if ids != list(range(n_shards)):
+                raise LogStoreError(
+                    f"incomplete log store (shards {ids}, expected "
+                    f"0..{n_shards - 1}): {root}"
+                )
+            for reader in readers:
+                if reader.n_shards != n_shards:
+                    raise LogStoreError(
+                        f"inconsistent shard geometry ({reader.n_shards} vs "
+                        f"{n_shards}): {reader.directory}"
+                    )
+                if reader.config_digest != digest:
+                    raise LogStoreError(
+                        f"mixed config digests in log store: {reader.directory}"
+                    )
+        except Exception:
+            for reader in readers:
+                reader.close()
+            raise
+        readers.sort(key=lambda reader: reader.shard_id)
+        return cls(root, readers)
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def n_records(self) -> int:
+        return sum(reader.n_records for reader in self.shards)
+
+    @property
+    def config_digest(self) -> str:
+        return self.shards[0].config_digest if self.shards else ""
+
+    def records(self) -> Iterator[LogRecord]:
+        """All rows across shards, merged into global-seq order."""
+        import heapq
+
+        return heapq.merge(
+            *(reader.records() for reader in self.shards),
+            key=lambda record: record.seq,
+        )
+
+    def verify(self) -> Dict[str, int]:
+        """Deep-verify every shard; totals when clean."""
+        totals = {"shards": len(self.shards), "records": 0, "uas": 0}
+        for reader in self.shards:
+            counts = reader.verify()
+            totals["records"] += counts["records"]
+            totals["uas"] += counts["uas"]
+        return totals
+
+    def close(self) -> None:
+        for reader in self.shards:
+            reader.close()
+
+    def __enter__(self) -> "LogStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

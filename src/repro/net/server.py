@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
 from ..obs.metrics import metrics_enabled, shared_registry
-from .accesslog import AccessLog, LogEntry, record_sim_request
+from .accesslog import AccessLog, LogEntry, clock_ticks, record_sim_request
 from .http import Headers, Request, Response
 from .transport import current_month
 
@@ -177,15 +177,18 @@ class Website:
         """Serve one request and log it."""
         response = self._respond(request)
         month = current_month()
-        if metrics_enabled():
-            if request.path_only == "/robots.txt":
-                _count_robots_serve(response.status)
-            record_sim_request(
-                request.user_agent,
-                "served" if response.status < 400 else "not_found",
-                self.category,
-                month,
-            )
+        if metrics_enabled() and request.path_only == "/robots.txt":
+            _count_robots_serve(response.status)
+        record_sim_request(
+            request.user_agent,
+            "served" if response.status < 400 else "not_found",
+            self.category,
+            month,
+            host=self.host,
+            path=request.path,
+            status=response.status,
+            ticks=clock_ticks(self.now),
+        )
         self.access_log.append(
             LogEntry(
                 timestamp=self.now,

@@ -30,6 +30,13 @@ Rule kinds:
 ``threshold``
     Fire when a selector's total is ``above`` (default) or ``below``
     a fixed ``threshold``.
+``log_volume``
+    Fire on raw traffic rather than derived series: evaluate per-agent
+    monthly request counts from a committed log store (``repro alerts
+    --log-store DIR``) and fire when any (agent, month) count is
+    ``above``/``below`` ``threshold``.  An optional
+    ``labels = {agent = "GPTBot"}`` table restricts the sweep to one
+    agent.
 
 Selectors name one instrument family (``series = "sim.requests"`` or
 ``counter = "net.errors"``) plus an optional ``labels`` table matched
@@ -69,7 +76,8 @@ ALERTS_SCHEMA_VERSION = 1
 
 #: Every rule kind the engine understands.
 RULE_KINDS = frozenset(
-    {"burn_rate", "drift", "cardinality", "error_budget", "threshold"}
+    {"burn_rate", "drift", "cardinality", "error_budget", "threshold",
+     "log_volume"}
 )
 
 _OVERFLOW_RENDERED = dict(OVERFLOW_LABELS)
@@ -173,6 +181,11 @@ def _rule_from_mapping(raw: object, index: int) -> AlertRule:
         raise AlertError(f"{where}: kind 'error_budget' needs a 'counter' selector")
     if kind in ("drift", "threshold") and series is None and counter is None:
         raise AlertError(f"{where}: kind {kind!r} needs a 'series' or 'counter'")
+    if kind == "log_volume" and (series is not None or counter is not None):
+        raise AlertError(
+            f"{where}: kind 'log_volume' reads the log store, "
+            "not a 'series'/'counter' selector"
+        )
     comparison = raw.get("comparison", "above")
     if comparison not in ("above", "below"):
         raise AlertError(f"{where}: comparison must be 'above' or 'below'")
@@ -320,11 +333,17 @@ class AlertEngine:
         self,
         metrics: Optional[Dict[str, object]] = None,
         series: Optional[Dict[str, object]] = None,
+        log_timelines: Optional[Dict[str, Dict[int, int]]] = None,
     ) -> List[AlertEvent]:
-        """Every firing across the rule set, in rule order."""
+        """Every firing across the rule set, in rule order.
+
+        *log_timelines* is the ``{agent: {month: count}}`` shape
+        :func:`repro.obs.logql.timelines` produces; required only when
+        the rule set contains ``log_volume`` rules.
+        """
         fired: List[AlertEvent] = []
         for rule in self.rules:
-            event = self._evaluate_rule(rule, metrics, series)
+            event = self._evaluate_rule(rule, metrics, series, log_timelines)
             if event is not None:
                 fired.append(event)
         return fired
@@ -336,6 +355,7 @@ class AlertEngine:
         rule: AlertRule,
         metrics: Optional[Dict[str, object]],
         series: Optional[Dict[str, object]],
+        log_timelines: Optional[Dict[str, Dict[int, int]]] = None,
     ) -> Optional[AlertEvent]:
         if rule.kind == "burn_rate":
             return self._eval_burn_rate(rule, series)
@@ -345,7 +365,55 @@ class AlertEngine:
             return self._eval_cardinality(rule, series)
         if rule.kind == "error_budget":
             return self._eval_error_budget(rule, metrics)
+        if rule.kind == "log_volume":
+            return self._eval_log_volume(rule, log_timelines)
         return self._eval_threshold(rule, metrics, series)
+
+    def _eval_log_volume(
+        self,
+        rule: AlertRule,
+        log_timelines: Optional[Dict[str, Dict[int, int]]],
+    ) -> Optional[AlertEvent]:
+        if log_timelines is None:
+            raise AlertError(
+                f"rule {rule.name!r}: log_volume needs a log store "
+                "(--log-store DIR)"
+            )
+        wanted_agent = dict(rule.labels).get("agent")
+        worst: Optional[Tuple[int, str, int]] = None  # (count, agent, month)
+        for agent in sorted(log_timelines):
+            if wanted_agent is not None and agent != wanted_agent:
+                continue
+            for month, count in sorted(log_timelines[agent].items()):
+                breached = (
+                    count > rule.threshold
+                    if rule.comparison == "above"
+                    else count < rule.threshold
+                )
+                if not breached:
+                    continue
+                extremer = (
+                    worst is None
+                    or (count > worst[0] if rule.comparison == "above"
+                        else count < worst[0])
+                )
+                if extremer:
+                    worst = (count, agent, month)
+        if worst is None:
+            return None
+        count, agent, month = worst
+        return AlertEvent(
+            rule=rule.name,
+            kind=rule.kind,
+            severity=rule.severity,
+            message=(
+                f"log volume for {agent} in month {month} is {count} "
+                f"requests ({rule.comparison} {rule.threshold:.4g})"
+            ),
+            value=float(count),
+            threshold=rule.threshold,
+            context={"agent": agent, "month": month},
+        )
 
     def _eval_burn_rate(
         self, rule: AlertRule, series: Optional[Dict[str, object]]

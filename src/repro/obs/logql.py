@@ -1,0 +1,154 @@
+"""Deterministic query/aggregation engine over a committed log store.
+
+``repro logs`` is the operator console for the request-plane wide
+events: filter raw records, roll them up by any label dimension, rank
+top-k paths/agents/hosts, and render per-agent monthly timelines.
+Everything here is a pure function of the archive bytes -- records
+iterate in global-sequence order, ties break lexicographically, and
+floats never enter the aggregation -- so identical stores always
+produce identical output (the property the CLI tests pin).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..net.logstore import LogRecord, LogStore
+
+__all__ = [
+    "LogFilter",
+    "filter_records",
+    "query",
+    "group_by",
+    "top_k",
+    "timelines",
+]
+
+#: Dimensions ``group_by``/``top_k`` understand, mapped to the record
+#: attribute they read.
+DIMENSIONS = {
+    "agent": "agent",
+    "host": "host",
+    "path": "path",
+    "outcome": "outcome",
+    "category": "category",
+    "month": "month",
+    "status": "status",
+}
+
+
+@dataclass(frozen=True)
+class LogFilter:
+    """Record predicate: every set field must match exactly.
+
+    ``month`` filters the simulated-month column; ``robots_only``
+    keeps robots.txt fetches only.
+    """
+
+    agent: Optional[str] = None
+    host: Optional[str] = None
+    outcome: Optional[str] = None
+    category: Optional[str] = None
+    month: Optional[int] = None
+    robots_only: bool = False
+
+    def matches(self, record: LogRecord) -> bool:
+        if self.agent is not None and record.agent != self.agent:
+            return False
+        if self.host is not None and record.host != self.host:
+            return False
+        if self.outcome is not None and record.outcome != self.outcome:
+            return False
+        if self.category is not None and record.category != self.category:
+            return False
+        if self.month is not None and record.month != self.month:
+            return False
+        if self.robots_only and not record.robots_fetch:
+            return False
+        return True
+
+
+def filter_records(
+    store: LogStore, where: Optional[LogFilter] = None
+) -> Iterator[LogRecord]:
+    """Matching records in global-sequence order."""
+    if where is None:
+        return store.records()
+    return (record for record in store.records() if where.matches(record))
+
+
+def query(
+    store: LogStore,
+    where: Optional[LogFilter] = None,
+    limit: Optional[int] = None,
+) -> List[LogRecord]:
+    """Matching records, optionally truncated to the first *limit*."""
+    out: List[LogRecord] = []
+    for record in filter_records(store, where):
+        out.append(record)
+        if limit is not None and len(out) >= limit:
+            break
+    return out
+
+
+def _dimension_value(record: LogRecord, dimension: str):
+    attribute = DIMENSIONS.get(dimension)
+    if attribute is None:
+        raise KeyError(
+            f"unknown dimension {dimension!r} "
+            f"(known: {', '.join(sorted(DIMENSIONS))})"
+        )
+    return getattr(record, attribute)
+
+
+def group_by(
+    store: LogStore,
+    dimensions: Tuple[str, ...],
+    where: Optional[LogFilter] = None,
+) -> Dict[tuple, int]:
+    """Request counts grouped by one or more dimensions, sorted by key."""
+    counts: Dict[tuple, int] = {}
+    for record in filter_records(store, where):
+        key = tuple(_dimension_value(record, d) for d in dimensions)
+        counts[key] = counts.get(key, 0) + 1
+    return dict(sorted(counts.items(), key=lambda item: tuple(map(str, item[0]))))
+
+
+def top_k(
+    store: LogStore,
+    dimension: str,
+    k: int = 10,
+    where: Optional[LogFilter] = None,
+) -> List[Tuple[object, int]]:
+    """The *k* most-requested values of *dimension*.
+
+    Ties break lexicographically on the value, so the ranking is
+    deterministic regardless of intern order.
+    """
+    counts: Dict[object, int] = {}
+    for record in filter_records(store, where):
+        value = _dimension_value(record, dimension)
+        counts[value] = counts.get(value, 0) + 1
+    ranked = sorted(counts.items(), key=lambda item: (-item[1], str(item[0])))
+    return ranked[: max(k, 0)]
+
+
+def timelines(
+    store: LogStore,
+    where: Optional[LogFilter] = None,
+) -> Dict[str, Dict[int, int]]:
+    """Per-agent monthly request counts: ``{agent: {month: n}}``.
+
+    Agents sort lexicographically, months ascend.  This is the shape
+    the ``log_volume`` alert rule evaluates and ``repro dashboard
+    --from-logs`` renders.
+    """
+    out: Dict[str, Dict[int, int]] = {}
+    for record in filter_records(store, where):
+        months = out.setdefault(record.agent, {})
+        months[record.month] = months.get(record.month, 0) + 1
+    return {
+        agent: dict(sorted(months.items()))
+        for agent, months in sorted(out.items())
+    }

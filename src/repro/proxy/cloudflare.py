@@ -113,8 +113,8 @@ class CloudflareProxy(ReverseProxy):
         custom = self.ruleset.decide(request)
         if custom is not None:
             self.dashboard.append((ua, "custom"))
-            self._record_outcome(request, ACTION_OUTCOMES[custom])
             response = self._interstitial(custom, request)
+            self._record_outcome(request, ACTION_OUTCOMES[custom], response.status)
             self._log(request, response.status, response.content_length)
             return response
 
@@ -126,27 +126,27 @@ class CloudflareProxy(ReverseProxy):
         # non-published IP -- measure the Block AI Bots list at all.
         if self.settings.definitely_automated and self._is_spoofed_verified_bot(request):
             self.dashboard.append((ua, "spoofed-verified-bot"))
-            self._record_outcome(request, "blocked_403")
             response = self._interstitial(Action.BLOCK, request)
+            self._record_outcome(request, "blocked_403", response.status)
             self._log(request, response.status, response.content_length)
             return response
 
         if self.settings.block_ai_bots and self._matches_block_ai(ua):
             if self.settings.ai_labyrinth:
                 self.dashboard.append((ua, "labyrinth"))
-                self._record_outcome(request, "decoy")
                 response = self._interstitial(Action.FAKE_CONTENT, request)
+                self._record_outcome(request, "decoy", response.status)
             else:
                 self.dashboard.append((ua, "block-ai"))
-                self._record_outcome(request, "blocked_403")
                 response = self._interstitial(Action.BLOCK, request)
+                self._record_outcome(request, "blocked_403", response.status)
             self._log(request, response.status, response.content_length)
             return response
 
         if self.settings.definitely_automated and self._matches_definitely_automated(ua):
             self.dashboard.append((ua, "managed-challenge"))
-            self._record_outcome(request, "challenged")
             response = self._interstitial(Action.CHALLENGE, request)
+            self._record_outcome(request, "challenged", response.status)
             self._log(request, response.status, response.content_length)
             return response
 

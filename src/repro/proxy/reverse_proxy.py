@@ -14,11 +14,10 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..net.accesslog import AccessLog, LogEntry, record_sim_request
+from ..net.accesslog import AccessLog, LogEntry, clock_ticks, record_sim_request
 from ..net.errors import ConnectionReset
 from ..net.http import Request, Response
 from ..net.transport import Handler, current_month
-from ..obs.metrics import metrics_enabled
 from .challenges import block_page, captcha_page, challenge_page, labyrinth_page
 from .fingerprint import is_automated
 from .rules import Action, RuleSet
@@ -79,12 +78,25 @@ class ReverseProxy:
         """The origin's site category (series label pass-through)."""
         return getattr(self.origin, "category", "")
 
-    def _record_outcome(self, request: Request, outcome: str) -> None:
-        """Record a proxy-terminated request into the operator series."""
-        if metrics_enabled():
-            record_sim_request(
-                request.user_agent, outcome, self.category, current_month()
-            )
+    def _record_outcome(
+        self, request: Request, outcome: str, status: int = 0
+    ) -> None:
+        """Record a proxy-terminated request into the operator series.
+
+        *status* is the interstitial's response status (0 for resets,
+        which never produce a response); it feeds the wide-event log,
+        not the series.
+        """
+        record_sim_request(
+            request.user_agent,
+            outcome,
+            self.category,
+            current_month(),
+            host=request.host,
+            path=request.path,
+            status=status,
+            ticks=clock_ticks(self.now),
+        )
 
     # -- interstitial construction ------------------------------------------
 
@@ -127,8 +139,8 @@ class ReverseProxy:
             self._log(request, 0, 0)
             raise ConnectionReset(request.host)
         if action is not None:
-            self._record_outcome(request, ACTION_OUTCOMES[action])
             response = self._interstitial(action, request)
+            self._record_outcome(request, ACTION_OUTCOMES[action], response.status)
             self._log(request, response.status, response.content_length)
             return response
         self._forward_clocks()

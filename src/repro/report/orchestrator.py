@@ -59,6 +59,8 @@ from ..obs.trace import (
     write_trace,
 )
 from ..measure.incremental import IncrementalStore, experiment_input_key
+from ..net.accesslog import active_log_sink, set_log_sink
+from ..net.logstore import LogSink, LogStore, log_stream
 from ..web.population import PopulationConfig
 from ..web.worldstore import WorldStore, config_digest, shared_world_store
 from . import experiments as exp
@@ -313,8 +315,9 @@ class _RunContext:
 _WORKER_CONTEXT: Optional[_RunContext] = None
 
 #: One outcome from :func:`_execute_experiment`: key, span-derived
-#: seconds, result, shipped metrics delta, shipped series delta, and
-#: shipped span records (the deltas/records are process mode only).
+#: seconds, result, shipped metrics delta, shipped series delta,
+#: shipped span records, and shipped wide-event delta (the deltas/
+#: records are process mode only).
 _Outcome = Tuple[
     str,
     float,
@@ -322,6 +325,7 @@ _Outcome = Tuple[
     Optional[Dict[str, object]],
     Optional[Dict[str, object]],
     List[Dict[str, object]],
+    Optional[Dict[str, list]],
 ]
 
 
@@ -333,15 +337,22 @@ def _execute_experiment(key: str) -> _Outcome:
     registry = shared_registry()
     series = shared_series()
     tracer = shared_tracer()
+    sink = active_log_sink()
     before = registry.snapshot() if context.ship else None
     series_before = series.snapshot() if context.ship else None
     mark = tracer.record_count() if context.ship else 0
+    # A forked child's sink is a pre-fork copy; marks bound the suffix
+    # of events this experiment emits, which is all that ships back.
+    sink_marks = sink.marks() if (context.ship and sink is not None) else None
     # Distinct span names per experiment keep root ids deterministic
     # even when parallel workers race on the occurrence counters.
     params = dict(spec.params)
     params.update(context.param_overrides.get(key, {}))
     exp_span = span(f"experiment:{key}", key=key, world=spec.world)
-    with exp_span:
+    # One named wide-event stream per experiment: the stream label --
+    # not the scheduling -- decides where this unit's requests land in
+    # the committed log archive.
+    with log_stream(f"experiment:{key}"), exp_span:
         if spec.world == WORLD_BUNDLE:
             result = spec.run(context.bundle, **params)
         elif spec.world == WORLD_POPULATION:
@@ -355,10 +366,14 @@ def _execute_experiment(key: str) -> _Outcome:
             result = spec.run(**params)
     seconds = getattr(exp_span, "duration_seconds", 0.0)
     if not context.ship:
-        return key, seconds, result, None, None, []
+        return key, seconds, result, None, None, [], None
     delta = snapshot_delta(registry.snapshot(), before)
     sdelta = series_delta(series.snapshot(), series_before)
-    return key, seconds, result, delta, sdelta, tracer.records_since(mark)
+    log_delta = sink.delta(sink_marks) if sink_marks is not None else None
+    return (
+        key, seconds, result, delta, sdelta,
+        tracer.records_since(mark), log_delta,
+    )
 
 
 def _validated_overrides(
@@ -588,6 +603,7 @@ def run_all(
     archive_dir: Optional[Union[str, Path]] = None,
     live: Optional["_obs_live.LiveTelemetry"] = None,
     profile: Union[None, bool, Profiler] = None,
+    log_dir: Optional[Union[str, Path]] = None,
 ) -> RunReport:
     """Run the experiment battery over one shared world.
 
@@ -660,6 +676,15 @@ def run_all(
             CPU profiler cannot follow workers).  Exported as
             ``PROFILE.json`` when *telemetry_dir* is given; also
             returned on :attr:`RunReport.profiler`.
+        log_dir: When given, install a wide-event
+            :class:`~repro.net.logstore.LogSink` for the run and commit
+            the columnar access-log archive here afterwards.  Fork
+            workers ship per-stream event deltas back (like metrics
+            deltas), so the committed archive is byte-identical across
+            modes and worker counts.  ``FEATURES.json`` -- the
+            per-(agent, host) traffic features -- is written next to
+            the telemetry export when *telemetry_dir* is given, else
+            into *log_dir*.
 
     Returns:
         A :class:`RunReport` with results in registry order, the
@@ -670,6 +695,8 @@ def run_all(
             raise ValueError("strata runs do not support incremental mode")
         if fault_plan is not None:
             raise ValueError("strata runs do not support fault plans")
+        if log_dir is not None:
+            raise ValueError("strata runs do not support a log store")
         return run_strata(
             strata,
             config=config,
@@ -767,6 +794,13 @@ def run_all(
     previous_live = _obs_live.active()
     if live is not None:
         _obs_live.install(live)
+    # Install the wide-event sink before the world build so collection
+    # traffic is captured too; restored in the finally below.
+    sink: Optional[LogSink] = None
+    previous_sink = None
+    if log_dir is not None:
+        sink = LogSink()
+        previous_sink = set_log_sink(sink)
     # Arm the fault plan for the entire run: world build, serial and
     # thread runners see it directly; fork workers inherit the armed
     # factory, so networks built inside child processes get it too.
@@ -852,19 +886,23 @@ def run_all(
 
             # Fold process-mode workers' shipped telemetry into the
             # parent; serial/thread workers already wrote in place.
-            for _, _, _, delta, sdelta, shipped_spans in outcomes:
+            for _, _, _, delta, sdelta, shipped_spans, log_delta in outcomes:
                 if delta is not None:
                     registry.merge(delta)
                 if sdelta is not None:
                     shared_series().merge(sdelta)
                 if shipped_spans:
                     tracer.absorb(shipped_spans)
+                if log_delta is not None and sink is not None:
+                    sink.merge(log_delta)
     finally:
         set_tracing_enabled(was_tracing)
         if inc is not None and bundle is not None:
             bundle.series.cache.attach_store(None)
         if live is not None:
             _restore_live(previous_live)
+        if sink is not None:
+            set_log_sink(previous_sink)
         if fault_plan is not None:
             if previous_chaos is None:
                 _chaos.deactivate()
@@ -879,7 +917,7 @@ def run_all(
         profiler=profiler,
     )
     executed: Dict[str, Tuple[float, ExperimentResult]] = {}
-    for key, seconds, result, _, _, _ in outcomes:
+    for key, seconds, result, _, _, _, _ in outcomes:
         executed[key] = (seconds, result)
     # Assemble in registry order, interleaving freshly executed results
     # with store hits -- indistinguishable downstream from a full run.
@@ -897,6 +935,19 @@ def run_all(
         for key in to_run:
             inc.record_experiment(key, input_keys[key], executed[key][1])
         inc.flush()
+
+    if sink is not None:
+        # Commit after the shipped-delta merge so fork-worker events are
+        # in; stream ordering makes the archive scheduling-invariant.
+        sink.commit(log_dir, config_digest(config))
+        from ..obs.features import write_features
+
+        features_dir = (
+            Path(telemetry_dir) if telemetry_dir is not None else Path(log_dir)
+        )
+        features_dir.mkdir(parents=True, exist_ok=True)
+        with LogStore.open(log_dir) as committed:
+            write_features(committed, features_dir / "FEATURES.json")
 
     if telemetry_dir is not None:
         # Shared-cache tallies are point-in-time, scheduling-dependent

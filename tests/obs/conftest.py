@@ -9,6 +9,7 @@ neighbor -- regardless of execution order.
 
 import pytest
 
+from repro.net.accesslog import reset_agent_label_memo
 from repro.obs.metrics import set_metrics_enabled, shared_registry
 from repro.obs.series import shared_series
 from repro.obs.trace import set_tracing_enabled, shared_tracer
@@ -16,15 +17,17 @@ from repro.obs.trace import set_tracing_enabled, shared_tracer
 
 @pytest.fixture(autouse=True)
 def clean_telemetry_state():
-    """Reset flags and the shared registries around every test."""
+    """Reset flags, the shared registries, and the accesslog memos."""
     set_metrics_enabled(True)
     set_tracing_enabled(False)
     shared_registry().reset()
     shared_series().reset()
     shared_tracer().reset()
+    reset_agent_label_memo()
     yield
     set_metrics_enabled(True)
     set_tracing_enabled(False)
     shared_registry().reset()
     shared_series().reset()
     shared_tracer().reset()
+    reset_agent_label_memo()

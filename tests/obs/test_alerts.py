@@ -248,6 +248,60 @@ class TestThreshold:
         assert "below" in event.message
 
 
+class TestLogVolume:
+    TIMELINES = {
+        "CCBot": {0: 5, 1: 3},
+        "GPTBot": {0: 10, 1: 40},
+    }
+
+    def _rule(self, **kwargs):
+        base = dict(name="volume", kind="log_volume", threshold=20)
+        base.update(kwargs)
+        return AlertRule(**base)
+
+    def test_breach_fires_worst_month_with_context(self):
+        (event,) = AlertEngine([self._rule()]).evaluate(
+            log_timelines=self.TIMELINES
+        )
+        assert event.value == 40.0
+        assert event.context == {"agent": "GPTBot", "month": 1}
+        assert "GPTBot" in event.message and "month 1" in event.message
+
+    def test_agent_label_filters_timelines(self):
+        rule = self._rule(labels=(("agent", "CCBot"),), threshold=2)
+        (event,) = AlertEngine([rule]).evaluate(log_timelines=self.TIMELINES)
+        assert event.context["agent"] == "CCBot"
+        assert event.value == 5.0
+
+    def test_below_comparison_flags_quiet_months(self):
+        rule = self._rule(comparison="below", threshold=4)
+        (event,) = AlertEngine([rule]).evaluate(log_timelines=self.TIMELINES)
+        assert event.context == {"agent": "CCBot", "month": 1}
+        assert event.value == 3.0
+
+    def test_clean_threshold_is_silent(self):
+        rule = self._rule(threshold=100)
+        assert AlertEngine([rule]).evaluate(
+            log_timelines=self.TIMELINES
+        ) == []
+
+    def test_missing_log_store_is_operator_error(self):
+        with pytest.raises(AlertError, match="--log-store"):
+            AlertEngine([self._rule()]).evaluate()
+
+    def test_rule_rejects_series_selector(self, tmp_path):
+        path = tmp_path / "slo.toml"
+        path.write_text(
+            '[[rule]]\n'
+            'name = "volume"\n'
+            'kind = "log_volume"\n'
+            'series = "sim.requests"\n'
+            'threshold = 1\n'
+        )
+        with pytest.raises(AlertError, match="reads the log store"):
+            load_rules(path)
+
+
 class TestAlertEvent:
     def test_to_json_is_schema_versioned(self):
         event = AlertEvent(rule="r", kind="threshold", severity="page",

@@ -1,0 +1,99 @@
+"""Cross-mode byte-identity for the wide-event log plane.
+
+The contract: ``run_all(log_dir=...)`` commits a columnar log archive
+-- and the FEATURES.json derived from it -- that is **byte-identical
+across serial/thread/fork scheduling at any worker count**.  Named
+streams plus shipped fork deltas deliver it; this suite pins the
+resulting bytes, not just aggregate equality.
+"""
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.net.accesslog import active_log_sink
+from repro.net.logstore import LogStore
+from repro.obs.metrics import shared_registry
+from repro.obs.series import shared_series
+from repro.obs.trace import shared_tracer
+from repro.report.orchestrator import run_all
+from repro.web.population import PopulationConfig
+from repro.web.worldstore import WorldStore
+
+SMALL = PopulationConfig(universe_size=500, list_size=300, top5k_cut=40,
+                         audit_size=90, seed=7)
+
+#: Covers the request-heavy sources (crawler fleet through the proxy
+#: and server planes) -- same slice the batch cross-mode identity
+#: tests use.
+SLICE = ["table1", "figure2", "sec62"]
+
+
+@pytest.fixture(scope="module")
+def store():
+    return WorldStore()
+
+
+def _reset():
+    shared_registry().reset()
+    shared_series().reset()
+    shared_tracer().reset()
+
+
+def _archive_bytes(root):
+    """Every file under *root* as ``{relative_path: bytes}``."""
+    return {
+        str(path.relative_to(root)): path.read_bytes()
+        for path in sorted(root.rglob("*"))
+        if path.is_file()
+    }
+
+
+class TestLogArchiveIdentity:
+    @pytest.mark.skipif(
+        "fork" not in multiprocessing.get_all_start_methods(),
+        reason="fork start method unavailable",
+    )
+    def test_archive_bytes_identical_across_modes(self, store, tmp_path):
+        # Pre-warm the world so every mode measures identical work.
+        run_all(SMALL, workers=1, experiments=SLICE, store=store)
+        archives = {}
+        features = {}
+        for label, mode, workers in [
+            ("serial", "auto", 1),
+            ("thread2", "thread", 2),
+            ("process3", "process", 3),
+        ]:
+            _reset()
+            log_dir = tmp_path / label
+            run_all(SMALL, workers=workers, experiments=SLICE, store=store,
+                    mode=mode, log_dir=log_dir)
+            archives[label] = _archive_bytes(log_dir)
+            features[label] = (log_dir / "FEATURES.json").read_bytes()
+            with LogStore.open(log_dir) as committed:
+                assert committed.n_records > 0
+                committed.verify()
+        assert archives["thread2"] == archives["serial"]
+        assert archives["process3"] == archives["serial"]
+        assert features["thread2"] == features["serial"]
+        assert features["process3"] == features["serial"]
+
+    def test_sink_detached_after_run(self, store, tmp_path):
+        run_all(SMALL, workers=1, experiments=["table1"], store=store,
+                log_dir=tmp_path / "logs")
+        assert active_log_sink() is None  # run_all restores the previous sink
+
+    def test_features_land_in_telemetry_dir_when_given(self, store, tmp_path):
+        run_all(SMALL, workers=1, experiments=["table1"], store=store,
+                telemetry_dir=tmp_path / "tele", log_dir=tmp_path / "logs")
+        assert (tmp_path / "tele" / "FEATURES.json").is_file()
+        assert not (tmp_path / "logs" / "FEATURES.json").exists()
+        payload = json.loads((tmp_path / "tele" / "FEATURES.json").read_text())
+        with LogStore.open(tmp_path / "logs") as committed:
+            assert payload["n_records"] == committed.n_records
+            assert payload["config_digest"] == committed.config_digest
+
+    def test_strata_runs_reject_log_dir(self, tmp_path):
+        with pytest.raises(ValueError, match="strata"):
+            run_all(SMALL, strata=["top-1k"], log_dir=tmp_path / "logs")

@@ -586,3 +586,183 @@ class TestReproduceProfile:
         assert [p["name"] for p in payload["phases"]] == [
             "world_build", "experiment:sec62",
         ]
+
+
+@pytest.fixture()
+def log_store_dir(tmp_path):
+    """A small committed log store with two agents over two months."""
+    from repro.net.logstore import LogSink, log_stream
+
+    sink = LogSink()
+    rows = [
+        ("a.example", "/robots.txt", "GPTBot", "served", "art", 0, 200, True),
+        ("a.example", "/one", "GPTBot", "served", "art", 0, 200, False),
+        ("a.example", "/one", "GPTBot", "blocked_403", "art", 1, 403, False),
+        ("b.example", "/two", "CCBot", "served", "news", 0, 200, False),
+        ("b.example", "/two", "CCBot", "challenged", "news", 1, 503, False),
+    ]
+    with log_stream("unit"):
+        for ticks, (host, path, agent, outcome, category, month,
+                    status, robots) in enumerate(rows):
+            sink.emit(host, path, f"{agent}/1.0", agent, outcome, category,
+                      month, status, ticks, robots)
+    return str(sink.commit(tmp_path / "logs", config_digest="cfg"))
+
+
+class TestLogs:
+    """``repro logs``: deterministic queries over the wide-event store."""
+
+    def test_query_filters_and_renders_records(self, log_store_dir, capsys):
+        assert main(["logs", log_store_dir, "query",
+                     "--agent", "GPTBot", "--month", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "/robots.txt" in out and "/one" in out
+        assert "CCBot" not in out
+        assert "2 record(s)" in out
+
+    def test_query_output_is_deterministic(self, log_store_dir, capsys):
+        assert main(["logs", log_store_dir, "query"]) == 0
+        first = capsys.readouterr().out
+        assert main(["logs", log_store_dir, "query"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_query_limit_and_no_match(self, log_store_dir, capsys):
+        assert main(["logs", log_store_dir, "query", "--limit", "1"]) == 0
+        assert "1 record(s)" in capsys.readouterr().out
+        assert main(["logs", log_store_dir, "query",
+                     "--agent", "nobody"]) == 0
+        assert "no matching records" in capsys.readouterr().out
+
+    def test_top_ranks_dimension(self, log_store_dir, capsys):
+        assert main(["logs", log_store_dir, "top", "agent", "-k", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "GPTBot" in out and "3" in out
+        assert "CCBot" not in out
+
+    def test_timeline_matrix(self, log_store_dir, capsys):
+        assert main(["logs", log_store_dir, "timeline"]) == 0
+        out = capsys.readouterr().out
+        assert "GPTBot" in out and "CCBot" in out
+        assert "2022-10" in out  # month 0's label
+
+    def test_verify_clean_store(self, log_store_dir, capsys):
+        assert main(["logs", log_store_dir, "verify"]) == 0
+        assert "OK -- 5 record(s)" in capsys.readouterr().out
+
+    def test_missing_store_is_one_line_exit_two(self, tmp_path, capsys):
+        assert main(["logs", str(tmp_path / "nope"), "verify"]) == 2
+        err = capsys.readouterr().err
+        assert "not a log store" in err
+        assert "Traceback" not in err
+
+
+class TestStatsFromLogs:
+    def test_summarizes_outcomes_and_agents(self, log_store_dir, capsys):
+        assert main(["stats", log_store_dir, "--from-logs"]) == 0
+        out = capsys.readouterr().out
+        assert "5 record(s)" in out
+        assert "blocked_403" in out and "challenged" in out
+        assert "robots.txt fetches: 1" in out
+        assert "GPTBot" in out
+
+    def test_missing_store_is_one_line_error(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path), "--from-logs"]) == 2
+        assert "not a log store" in capsys.readouterr().err
+
+
+class TestDashboardFromLogs:
+    def test_matrix_from_raw_records(self, log_store_dir, capsys):
+        assert main(["dashboard", log_store_dir, "--from-logs"]) == 0
+        out = capsys.readouterr().out
+        # GPTBot month 1: 1 request, 1 blocked; CCBot month 1 challenged.
+        assert "1/1/0" in out and "1/0/1" in out
+
+    def test_category_filter_and_unknown_category(self, log_store_dir, capsys):
+        assert main(["dashboard", log_store_dir, "--from-logs",
+                     "--category", "news"]) == 0
+        out = capsys.readouterr().out
+        assert "CCBot" in out and "GPTBot" not in out
+        assert main(["dashboard", log_store_dir, "--from-logs",
+                     "--category", "nosuch"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown category 'nosuch'" in err
+        assert "art" in err and "news" in err
+
+
+class TestAlertsLogVolume:
+    def _rules(self, tmp_path, body):
+        path = tmp_path / "rules.toml"
+        path.write_text(body)
+        return str(path)
+
+    @pytest.fixture()
+    def telemetry(self, tmp_path):
+        from tests.obs.test_analyze import write_telemetry
+
+        return write_telemetry(tmp_path / "t")
+
+    def test_breach_fires_with_log_store(self, telemetry, log_store_dir,
+                                         tmp_path, capsys):
+        rules = self._rules(tmp_path, (
+            '[[rule]]\n'
+            'name = "gptbot-volume"\n'
+            'kind = "log_volume"\n'
+            'labels = {agent = "GPTBot"}\n'
+            'threshold = 1\n'
+        ))
+        assert main(["alerts", str(telemetry), "--rules", rules,
+                     "--log-store", log_store_dir]) == 1
+        out = capsys.readouterr().out
+        assert "gptbot-volume" in out and "FIRING" in out
+
+    def test_clean_threshold_exits_zero(self, telemetry, log_store_dir,
+                                        tmp_path, capsys):
+        rules = self._rules(tmp_path, (
+            '[[rule]]\n'
+            'name = "gptbot-volume"\n'
+            'kind = "log_volume"\n'
+            'threshold = 100\n'
+        ))
+        assert main(["alerts", str(telemetry), "--rules", rules,
+                     "--log-store", log_store_dir]) == 0
+        assert "RESULT: OK" in capsys.readouterr().out
+
+    def test_log_volume_without_store_is_operator_error(
+        self, telemetry, tmp_path, capsys
+    ):
+        rules = self._rules(tmp_path, (
+            '[[rule]]\n'
+            'name = "volume"\n'
+            'kind = "log_volume"\n'
+            'threshold = 1\n'
+        ))
+        assert main(["alerts", str(telemetry), "--rules", rules]) == 2
+        assert "--log-store" in capsys.readouterr().err
+
+
+class TestReproduceLogDir:
+    def test_end_to_end_log_dir_run(self, tmp_path, capsys, monkeypatch):
+        from repro import cli
+        from repro.web.population import PopulationConfig
+
+        monkeypatch.setattr(
+            cli,
+            "_fast_config",
+            lambda: PopulationConfig(
+                universe_size=300, list_size=200, top5k_cut=30,
+                audit_size=60, seed=11,
+            ),
+        )
+        log_dir = tmp_path / "logs"
+        assert main(["reproduce", "--fast", "--only", "sec62",
+                     "--log-dir", str(log_dir)]) == 0
+        out = capsys.readouterr().out
+        assert f"log store: {log_dir}" in out
+        assert (log_dir / "FEATURES.json").is_file()
+        assert main(["logs", str(log_dir), "verify"]) == 0
+
+    def test_strata_with_log_dir_is_operator_error(self, tmp_path, capsys):
+        assert main(["reproduce", "--fast", "--strata", "top-1k",
+                     "--log-dir", str(tmp_path / "logs")]) == 2
+        err = capsys.readouterr().err
+        assert "strata" in err and "Traceback" not in err
