@@ -33,6 +33,7 @@ OBS_OVERHEAD = REPO / "benchmarks" / "output" / "OBS_OVERHEAD.json"
 CHAOS_OVERHEAD = REPO / "benchmarks" / "output" / "CHAOS_OVERHEAD.json"
 LIVE_OVERHEAD = REPO / "benchmarks" / "output" / "LIVE_OVERHEAD.json"
 LOG_OVERHEAD = REPO / "benchmarks" / "output" / "LOG_OVERHEAD.json"
+BEHAVIORAL_OVERHEAD = REPO / "benchmarks" / "output" / "BEHAVIORAL_OVERHEAD.json"
 INCREMENTAL = REPO / "benchmarks" / "output" / "INCREMENTAL.json"
 SCALE = REPO / "benchmarks" / "output" / "SCALE.json"
 
@@ -52,6 +53,11 @@ LIVE_OVERHEAD_BUDGET_PCT = 1.0
 #: An installed wide-event log sink may imply at most this much
 #: slowdown on the collection crawl (percent; see bench_logstore.py).
 LOG_OVERHEAD_BUDGET_PCT = 1.0
+
+#: An armed behavioral policy's assess/observe hooks may imply at most
+#: this much slowdown on a cold reproduction battery (percent; see
+#: bench_behavioral.py).
+BEHAVIORAL_OVERHEAD_BUDGET_PCT = 1.0
 
 #: A warm incremental battery must beat the cold run by at least this
 #: factor (see bench_incremental.py).
@@ -172,10 +178,11 @@ def main() -> int:
     chaos_ok = _check_chaos_overhead()
     live_ok = _check_live_overhead()
     log_ok = _check_log_overhead()
+    behavioral_ok = _check_behavioral_overhead()
     incremental_ok = _check_incremental()
     scale_ok = _check_scale()
     overhead_ok = (obs_ok and chaos_ok and live_ok and log_ok
-                   and incremental_ok and scale_ok)
+                   and behavioral_ok and incremental_ok and scale_ok)
 
     if regressions:
         print(f"\n{len(regressions)} bench(es) regressed more than "
@@ -308,6 +315,27 @@ def _check_log_overhead() -> bool:
           f"cost on the collection crawl: {implied:.3f}% "
           f"(budget {LOG_OVERHEAD_BUDGET_PCT:.1f}%)")
     if implied > LOG_OVERHEAD_BUDGET_PCT:
+        print("  <-- OVER BUDGET")
+        return False
+    return True
+
+
+def _check_behavioral_overhead() -> bool:
+    """Gate the armed-policy budget from BEHAVIORAL_OVERHEAD.json."""
+    if not BEHAVIORAL_OVERHEAD.exists():
+        return True  # bench deselected this run; nothing to check
+    try:
+        payload = json.loads(BEHAVIORAL_OVERHEAD.read_text())
+    except (ValueError, OSError):
+        print(f"warning: unreadable {BEHAVIORAL_OVERHEAD}")
+        return True
+    implied = payload.get("implied_overhead_pct")
+    if implied is None:
+        return True
+    print(f"\n== behavioral plane overhead ==\n  implied armed-policy "
+          f"cost on a cold battery: {implied:.3f}% "
+          f"(budget {BEHAVIORAL_OVERHEAD_BUDGET_PCT:.1f}%)")
+    if implied > BEHAVIORAL_OVERHEAD_BUDGET_PCT:
         print("  <-- OVER BUDGET")
         return False
     return True

@@ -42,6 +42,7 @@ EXPERIMENT_IDS = [
     "table1", "table2", "table3", "figure2", "figure3", "figure4",
     "sec22", "sec62", "sec63", "sec81", "appb2", "survey",
     "tables9_12", "crosstabs", "taxonomy", "category",
+    "behavioral", "selective",
 ]
 
 #: Named population strata (mirrors repro.web.tranco.STRATUM_SIZES,
@@ -514,6 +515,7 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         features_dir = args.telemetry_dir or args.log_dir
         print(f"log store: {args.log_dir} "
               f"(features: {features_dir}/FEATURES.json; "
+              f"behavioral verdicts: {features_dir}/BEHAVIORAL.json; "
               f"query with `repro logs {args.log_dir} ...`)")
     return 0
 
@@ -801,6 +803,39 @@ def _print_profile(directory) -> None:
     ))
 
 
+def _print_behavioral(directory) -> None:
+    """The BEHAVIORAL.json verdict summary, when the run exported one.
+
+    Silent when the directory has no (or a corrupt) verdict artifact --
+    only runs with a log store produce it.
+    """
+    import json
+
+    path = directory / "BEHAVIORAL.json"
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return
+    summary = payload.get("summary", {})
+    if not summary:
+        return
+    total = sum(summary.values())
+    print(f"\nbehavioral verdicts ({total} (agent, host) pair(s)):")
+    rows = [(verdict, count) for verdict, count in sorted(summary.items())]
+    print(render_table(["verdict", "pairs"], rows))
+    gated = [
+        (agent, host, entry["verdict"], entry["score"],
+         " ".join(entry.get("signals", ())))
+        for agent, hosts in sorted(payload.get("verdicts", {}).items())
+        for host, entry in sorted(hosts.items())
+        if entry.get("verdict") != "allow"
+    ]
+    if gated:
+        print(f"\ngated pairs ({len(gated)}):")
+        print(render_table(["agent", "host", "verdict", "score", "signals"],
+                           gated))
+
+
 def _cmd_stats_from_logs(target: str) -> int:
     """``repro stats --from-logs``: summarize a log store's records."""
     from .net.logstore import LogStore, LogStoreError
@@ -862,6 +897,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             _print_shard_balance(payload)
             _print_archive_probes(payload)
             _print_profile(metrics_path.parent)
+            _print_behavioral(metrics_path.parent)
             return 0
 
         records = load_trace(trace_path)

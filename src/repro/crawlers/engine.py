@@ -100,6 +100,9 @@ class Crawler:
         self.network = network
         self._robots_cache: Dict[str, _CacheEntry] = {}
         self._crawl_count: Dict[str, int] = {}
+        # Lifetime request index; drives round-robin UA/IP rotation for
+        # adversarial profiles (a plain attribute read otherwise).
+        self._requests_sent = 0
         # Counter handles are resolved once per crawler; each increment
         # on the crawl hot path is then a bool check plus a locked add.
         agent = profile.token if profile.token in _KNOWN_AGENT_LABELS else "other"
@@ -137,7 +140,9 @@ class Crawler:
     def _request(
         self, host: str, path: str, extra_headers: Optional[Dict[str, str]] = None
     ) -> Response:
-        headers = {"User-Agent": self.profile.user_agent}
+        index = self._requests_sent
+        self._requests_sent += 1
+        headers = {"User-Agent": self.profile.user_agent_for(index)}
         if extra_headers:
             headers.update(extra_headers)
         return self.network.request(
@@ -145,7 +150,7 @@ class Crawler:
                 host=host,
                 path=path,
                 headers=Headers(headers),
-                client_ip=self.profile.source_ip,
+                client_ip=self.profile.source_ip_for(index),
             )
         )
 
@@ -332,12 +337,25 @@ class Crawler:
             if not self._may_fetch(policy, path):
                 result.skipped.append(path)
                 continue
+            # The politeness gap before this fetch: the base interval
+            # plus any seeded stealth jitter (zero for normal profiles).
+            gap = 0.0
+            if fetched_pages > 0:
+                gap = interval + self.profile.gap_jitter_seconds(
+                    host, fetched_pages
+                )
             if (
                 time_budget is not None
                 and fetched_pages > 0
-                and result.time_spent + interval > time_budget
+                and result.time_spent + gap > time_budget
             ):
                 break
+            if gap and self.profile.paces_on_clock:
+                # Stealth pacing is only worth anything if the *server*
+                # sees it: charge the gap to the simulated wall clock,
+                # which is exactly the evasion cost the equilibrium
+                # experiments measure.
+                self.network.now += gap
             try:
                 response = self._request(host, path)
             except NetError as exc:
@@ -347,7 +365,7 @@ class Crawler:
             self._fetches_counter.inc()
             self._fetched_series.add(self.network.month)
             if fetched_pages > 0:
-                result.time_spent += interval
+                result.time_spent += gap
             result.fetched.append((path, response.status))
             fetched_pages += 1
             if response.ok and b"href" in response.body:

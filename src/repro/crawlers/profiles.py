@@ -13,8 +13,9 @@ the time".  :class:`RobotsBehavior` enumerates these observed modes and
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Tuple
 
 from ..agents.ipranges import crawler_ip
 
@@ -97,10 +98,51 @@ class CrawlerProfile:
     #: Whether expired robots.txt cache entries are revalidated with
     #: If-None-Match (a 304 keeps the cached policy without a refetch).
     revalidates_robots: bool = False
+    # -- adversarial (anti-detection) knobs ---------------------------------
+    #: User-Agent strings rotated round-robin per request (empty: always
+    #: ``user_agent``).  Defeats UA-list rules; a behavioral layer sees
+    #: the rotation itself as churn.
+    ua_pool: Tuple[str, ...] = ()
+    #: Source addresses rotated round-robin per request (empty: always
+    #: ``source_ip``).  Defeats per-IP limits and verified-bot checks.
+    ip_pool: Tuple[str, ...] = ()
+    #: Max extra milliseconds of seeded jitter added to each politeness
+    #: gap, so inter-request timing is not a perfectly regular beacon.
+    stealth_gap_jitter_ms: int = 0
+    #: Salt for the jitter (sha256 of seed|token|host|index -- no RNG,
+    #: so stealth crawls replay byte-identically).
+    stealth_seed: int = 0
+    #: Charge politeness gaps (interval + jitter) to the simulated
+    #: network clock, so server-side inter-arrival timing actually
+    #: shows the pacing -- that clock charge *is* the evasion cost.
+    paces_on_clock: bool = False
 
     def __post_init__(self) -> None:
         if not self.source_ip:
             self.source_ip = crawler_ip(self.token)
+
+    # -- per-request identity (round-robin over the pools) ------------------
+
+    def user_agent_for(self, index: int) -> str:
+        """The User-Agent for the crawl's *index*-th request."""
+        if not self.ua_pool:
+            return self.user_agent
+        return self.ua_pool[index % len(self.ua_pool)]
+
+    def source_ip_for(self, index: int) -> str:
+        """The source address for the crawl's *index*-th request."""
+        if not self.ip_pool:
+            return self.source_ip
+        return self.ip_pool[index % len(self.ip_pool)]
+
+    def gap_jitter_seconds(self, host: str, index: int) -> float:
+        """Seeded jitter (seconds) added to the *index*-th pacing gap."""
+        if self.stealth_gap_jitter_ms <= 0:
+            return 0.0
+        digest = hashlib.sha256(
+            f"{self.stealth_seed}|{self.token}|{host}|{index}".encode("utf-8")
+        ).hexdigest()
+        return (int(digest[:8], 16) % (self.stealth_gap_jitter_ms + 1)) / 1000.0
 
     @classmethod
     def respectful(cls, token: str, user_agent: Optional[str] = None, **kwargs) -> "CrawlerProfile":
@@ -129,5 +171,35 @@ class CrawlerProfile:
             token=token,
             user_agent=user_agent or f"{token}/1.0",
             behavior=RobotsBehavior.NO_FETCH,
+            **kwargs,
+        )
+
+    @classmethod
+    def stealth(
+        cls,
+        token: str,
+        user_agent: Optional[str] = None,
+        fetch_interval: float = 1.0,
+        gap_jitter_ms: int = 400,
+        seed: int = 0,
+        **kwargs,
+    ) -> "CrawlerProfile":
+        """A paced scraper built to slip past behavioral scoring.
+
+        Fetches robots.txt (so server logs show discipline) but ignores
+        its rules, keeps one consistent User-Agent, and spaces content
+        fetches by *fetch_interval* plus seeded jitter charged to the
+        simulated clock -- trading crawl time for a human-shaped
+        traffic fingerprint.  Combine with ``ua_pool``/``ip_pool`` via
+        *kwargs* to measure how rotation changes the equilibrium.
+        """
+        return cls(
+            token=token,
+            user_agent=user_agent or f"{token}/1.0",
+            behavior=RobotsBehavior.FETCH_AND_IGNORE,
+            default_fetch_interval=fetch_interval,
+            stealth_gap_jitter_ms=gap_jitter_ms,
+            stealth_seed=seed,
+            paces_on_clock=True,
             **kwargs,
         )

@@ -15,10 +15,14 @@ from __future__ import annotations
 
 import json
 import math
+import os
 from pathlib import Path
-from typing import Dict, List, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Tuple, Union
 
-from ..net.logstore import LogStore
+from .metrics import metrics_enabled, shared_registry
+
+if TYPE_CHECKING:  # annotation-only: keeps the proxy->obs import acyclic
+    from ..net.logstore import LogStore
 
 __all__ = [
     "FEATURES_SCHEMA_VERSION",
@@ -60,9 +64,12 @@ def extract_features(store: LogStore) -> Dict[str, Dict[str, Dict[str, object]]]
 
     * ``requests`` -- total request count.
     * ``gap_mean_ticks`` / ``gap_p95_ticks`` -- mean and nearest-rank
-      p95 of inter-request gaps on the simulated millisecond clock
-      (consecutive requests in global-sequence order; 0.0/0 when the
-      pair made fewer than two requests).
+      p95 of inter-request gaps on the simulated millisecond clock.
+      Gaps are differences of the pair's *sorted* ticks (0.0/0 when the
+      pair made fewer than two requests); ticks arriving out of order
+      across stream boundaries are counted into the process-wide
+      ``features.tick_regressions`` counter instead of being folded
+      into the gap statistics.
     * ``path_entropy_bits`` -- Shannon entropy of the request-path
       distribution (high for broad crawls, low for focused scraping).
     * ``robots_before_content`` -- fraction of content (non-robots)
@@ -102,14 +109,22 @@ def extract_features(store: LogStore) -> Dict[str, Dict[str, Dict[str, object]]]
                 pair["content_after_robots"] += 1
 
     out: Dict[str, Dict[str, Dict[str, object]]] = {}
+    regressions = 0
     for (agent, host) in sorted(state):
         pair = state[(agent, host)]
         ticks: List[int] = pair["ticks"]
+        # A tick running backwards between consecutive requests is a
+        # clock regression (records from different streams interleaving
+        # on the global seq), not a real inter-arrival gap.  Taking the
+        # absolute value would silently fold it into the gap stats;
+        # instead count it, then difference the sorted ticks so gaps
+        # are always measured on the ordered timeline.
+        regressions += sum(
+            1 for i in range(1, len(ticks)) if ticks[i] < ticks[i - 1]
+        )
+        ordered = sorted(ticks)
         gaps = sorted(
-            ticks[i] - ticks[i - 1]
-            if ticks[i] >= ticks[i - 1]
-            else ticks[i - 1] - ticks[i]
-            for i in range(1, len(ticks))
+            ordered[i] - ordered[i - 1] for i in range(1, len(ordered))
         )
         content = pair["content"]
         out.setdefault(agent, {})[host] = {
@@ -125,6 +140,8 @@ def extract_features(store: LogStore) -> Dict[str, Dict[str, Dict[str, object]]]
             "error_ratio": round(pair["errors"] / pair["requests"], _ROUND),
             "ua_churn": len(pair["uas"]),
         }
+    if regressions and metrics_enabled():
+        shared_registry().counter("features.tick_regressions").inc(regressions)
     return out
 
 
@@ -137,7 +154,13 @@ def write_features(store: LogStore, path: Union[str, Path]) -> Path:
         "n_records": store.n_records,
         "features": extract_features(store),
     }
-    path.write_text(
+    # Atomic like every other artifact writer (archive manifests, log
+    # store commits): create the parent, stage a sibling tmp file, then
+    # rename into place so readers never see a torn FEATURES.json.
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(
         json.dumps(payload, sort_keys=True, indent=2) + "\n", encoding="utf-8"
     )
+    os.replace(tmp, path)
     return path

@@ -112,7 +112,11 @@ def group_by(
     for record in filter_records(store, where):
         key = tuple(_dimension_value(record, d) for d in dimensions)
         counts[key] = counts.get(key, 0) + 1
-    return dict(sorted(counts.items(), key=lambda item: tuple(map(str, item[0]))))
+    # Each key position holds one dimension's native type (int for
+    # month/status, str otherwise), so tuples compare position-wise
+    # without coercion -- stringifying here would order month 10 before
+    # month 2.
+    return dict(sorted(counts.items()))
 
 
 def top_k(
@@ -123,14 +127,16 @@ def top_k(
 ) -> List[Tuple[object, int]]:
     """The *k* most-requested values of *dimension*.
 
-    Ties break lexicographically on the value, so the ranking is
-    deterministic regardless of intern order.
+    Ties break ascending on the native value (numerically for the int
+    dimensions, lexicographically for strings), so the ranking is
+    deterministic regardless of intern order -- a ``str()`` tie-break
+    would rank month 10 ahead of month 2.
     """
     counts: Dict[object, int] = {}
     for record in filter_records(store, where):
         value = _dimension_value(record, dimension)
         counts[value] = counts.get(value, 0) + 1
-    ranked = sorted(counts.items(), key=lambda item: (-item[1], str(item[0])))
+    ranked = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
     return ranked[: max(k, 0)]
 
 

@@ -1,5 +1,14 @@
 """Active blocking: rules, interstitials, fingerprinting, reverse proxies."""
 
+from .behavioral import (
+    BehavioralConfig,
+    BehavioralPolicy,
+    BehavioralScorer,
+    BehavioralVerdict,
+    BehavioralWindow,
+    score_log_store,
+    write_verdicts,
+)
 from .challenges import (
     PageKind,
     block_page,
@@ -7,6 +16,7 @@ from .challenges import (
     challenge_page,
     classify_page,
     labyrinth_page,
+    throttle_page,
 )
 from .cloudflare import CloudflareProxy, CloudflareSettings
 from .fingerprint import (
@@ -19,12 +29,20 @@ from .reverse_proxy import ReverseProxy
 from .rules import Action, BlockRule, RuleSet
 
 __all__ = [
+    "BehavioralConfig",
+    "BehavioralPolicy",
+    "BehavioralScorer",
+    "BehavioralVerdict",
+    "BehavioralWindow",
+    "score_log_store",
+    "write_verdicts",
     "PageKind",
     "block_page",
     "captcha_page",
     "challenge_page",
     "classify_page",
     "labyrinth_page",
+    "throttle_page",
     "CloudflareProxy",
     "CloudflareSettings",
     "AUTOMATION_HEADER",

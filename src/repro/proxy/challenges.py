@@ -19,6 +19,7 @@ __all__ = [
     "challenge_page",
     "captcha_page",
     "labyrinth_page",
+    "throttle_page",
     "classify_page",
 ]
 
@@ -31,12 +32,14 @@ class PageKind(enum.Enum):
     CHALLENGE = "challenge"
     CAPTCHA = "captcha"
     LABYRINTH = "labyrinth"
+    THROTTLE = "throttle"
 
 
 _BLOCK_MARKER = "access-denied-error-1020"
 _CHALLENGE_MARKER = "browser-challenge-interstitial"
 _CAPTCHA_MARKER = "captcha-verification-widget"
 _LABYRINTH_MARKER = "generated-maze-content"
+_THROTTLE_MARKER = "rate-limit-interstitial"
 
 
 def block_page(service: str = "Cloudflare", host: str = "") -> str:
@@ -95,6 +98,18 @@ def labyrinth_page(seed: int = 0) -> str:
     )
 
 
+def throttle_page(service: str = "Cloudflare", host: str = "") -> str:
+    """A 429 rate-limit interstitial (the behavioral throttle verdict)."""
+    return (
+        "<!DOCTYPE html><html><head><title>Too many requests</title></head>"
+        f'<body class="{_THROTTLE_MARKER}">'
+        f"<h1>You are being rate limited</h1>"
+        f"<p>{service} has temporarily limited your requests to "
+        f"{host or 'this site'}. Please slow down and retry later.</p>"
+        "</body></html>"
+    )
+
+
 def classify_page(html: str) -> PageKind:
     """Classify a response body by its interstitial markers.
 
@@ -105,6 +120,8 @@ def classify_page(html: str) -> PageKind:
     low = html.lower()
     if _LABYRINTH_MARKER in low:
         return PageKind.LABYRINTH
+    if _THROTTLE_MARKER in low or "you are being rate limited" in low:
+        return PageKind.THROTTLE
     if _CAPTCHA_MARKER in low or "verify you are human" in low:
         return PageKind.CAPTCHA
     if _CHALLENGE_MARKER in low or "checking your browser" in low or "just a moment" in low:

@@ -35,6 +35,7 @@ from ..agents.ipranges import ip_in_published_range
 from ..agents.useragent import contains_token, matches_any, primary_product
 from ..net.http import Request, Response
 from ..net.transport import Handler
+from .behavioral import BehavioralPolicy
 from .reverse_proxy import ACTION_OUTCOMES, ReverseProxy
 from .rules import Action, RuleSet
 
@@ -75,12 +76,19 @@ class CloudflareProxy(ReverseProxy):
         origin: Handler,
         settings: Optional[CloudflareSettings] = None,
         custom_rules: Optional[RuleSet] = None,
+        behavioral: Optional[BehavioralPolicy] = None,
     ):
-        super().__init__(origin, ruleset=custom_rules, service_name="Cloudflare")
+        super().__init__(
+            origin,
+            ruleset=custom_rules,
+            service_name="Cloudflare",
+            behavioral=behavioral,
+        )
         self.settings = settings or CloudflareSettings()
         #: Grey-box ground truth: (user_agent, disposition) per request,
         #: dispositions in {"pass", "block-ai", "managed-challenge",
-        #: "spoofed-verified-bot", "custom"}.
+        #: "spoofed-verified-bot", "custom"} plus "behavioral-<verdict>"
+        #: when a behavioral policy gates the request.
         self.dashboard: List[Tuple[str, str]] = []
 
     # -- managed rule predicates ---------------------------------------------
@@ -109,6 +117,15 @@ class CloudflareProxy(ReverseProxy):
     def handle(self, request: Request) -> Response:
         """Evaluate managed features, then forward to the origin."""
         ua = request.user_agent
+
+        # Behavioral scoring outranks every UA-list feature: it is the
+        # layer a UA-rotating crawler cannot talk its way past.
+        if self.behavioral is not None:
+            gated = self._behavioral_decision(request)
+            if gated is not None:
+                verdict, response = gated
+                self.dashboard.append((ua, f"behavioral-{verdict.verdict}"))
+                return response
 
         custom = self.ruleset.decide(request)
         if custom is not None:

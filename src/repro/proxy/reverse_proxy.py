@@ -12,13 +12,26 @@ popular sites unmeasurable for the paper's UA-based detector
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 from ..net.accesslog import AccessLog, LogEntry, clock_ticks, record_sim_request
 from ..net.errors import ConnectionReset
 from ..net.http import Request, Response
 from ..net.transport import Handler, current_month
-from .challenges import block_page, captcha_page, challenge_page, labyrinth_page
+from .behavioral import (
+    VERDICT_BLOCK,
+    VERDICT_CHALLENGE,
+    VERDICT_THROTTLE,
+    BehavioralPolicy,
+    BehavioralVerdict,
+)
+from .challenges import (
+    block_page,
+    captcha_page,
+    challenge_page,
+    labyrinth_page,
+    throttle_page,
+)
 from .fingerprint import is_automated
 from .rules import Action, RuleSet
 
@@ -46,6 +59,10 @@ class ReverseProxy:
             is served the automation interstitial regardless of rules
             (the "inherently blocks our tool" behavior).
         automation_action: What to serve fingerprint-detected clients.
+        behavioral: Optional :class:`~repro.proxy.behavioral
+            .BehavioralPolicy` evaluated *ahead of* the UA-list rules;
+            its windows are fed from this proxy's access log, so every
+            terminating layer's final status feeds back into scoring.
 
     The proxy exposes ``host`` (delegating to the origin) so it can be
     registered on a :class:`~repro.net.transport.Network` in the
@@ -59,12 +76,14 @@ class ReverseProxy:
         service_name: str = "reverse-proxy",
         block_all_automation: bool = False,
         automation_action: Action = Action.CAPTCHA,
+        behavioral: Optional[BehavioralPolicy] = None,
     ):
         self.origin = origin
         self.ruleset = ruleset or RuleSet()
         self.service_name = service_name
         self.block_all_automation = block_all_automation
         self.automation_action = automation_action
+        self.behavioral = behavioral
         self.access_log = AccessLog()
         self.now: float = 0.0
 
@@ -127,10 +146,49 @@ class ReverseProxy:
             return int(tail)
         return sum(path.encode("utf-8")) % 1000
 
+    # -- behavioral gate ----------------------------------------------------
+
+    def _behavioral_decision(
+        self, request: Request
+    ) -> Optional[Tuple[BehavioralVerdict, Response]]:
+        """Assess the request behaviorally; gate it when warranted.
+
+        Runs ahead of every UA-list rule: a verdict response is fully
+        recorded (series outcome + access log, which feeds the verdict
+        back into the scoring window) before being returned.  ``None``
+        means the request proceeds to the rule layers.
+        """
+        verdict = self.behavioral.assess(
+            request.user_agent, request.host, current_month()
+        )
+        if verdict.verdict == VERDICT_THROTTLE:
+            response = Response(
+                status=429,
+                body=throttle_page(self.service_name, request.host),
+                headers={"Retry-After": "1"},
+                url=request.url,
+            )
+            outcome = "throttled"
+        elif verdict.verdict == VERDICT_CHALLENGE:
+            response = self._interstitial(Action.CHALLENGE, request)
+            outcome = ACTION_OUTCOMES[Action.CHALLENGE]
+        elif verdict.verdict == VERDICT_BLOCK:
+            response = self._interstitial(Action.BLOCK, request)
+            outcome = ACTION_OUTCOMES[Action.BLOCK]
+        else:
+            return None
+        self._record_outcome(request, outcome, response.status)
+        self._log(request, response.status, response.content_length)
+        return verdict, response
+
     # -- request handling ---------------------------------------------------
 
     def handle(self, request: Request) -> Response:
         """Apply blocking policy, then forward to the origin."""
+        if self.behavioral is not None:
+            gated = self._behavioral_decision(request)
+            if gated is not None:
+                return gated[1]
         action = self.ruleset.decide(request)
         if action is None and self.block_all_automation and is_automated(request):
             action = self.automation_action
@@ -158,16 +216,17 @@ class ReverseProxy:
             self.origin.now = self.now
 
     def _log(self, request: Request, status: int, size: int) -> None:
-        self.access_log.append(
-            LogEntry(
-                timestamp=self.now,
-                client_ip=request.client_ip,
-                method=request.method,
-                path=request.path,
-                status=status,
-                body_bytes=size,
-                user_agent=request.user_agent,
-                host=request.host,
-                month=current_month(),
-            )
+        entry = LogEntry(
+            timestamp=self.now,
+            client_ip=request.client_ip,
+            method=request.method,
+            path=request.path,
+            status=status,
+            body_bytes=size,
+            user_agent=request.user_agent,
+            host=request.host,
+            month=current_month(),
         )
+        self.access_log.append(entry)
+        if self.behavioral is not None:
+            self.behavioral.observe(entry)

@@ -23,7 +23,9 @@ from ..core.diagnostics import has_mistakes
 from ..core.legacy import LegacyPolicy
 from ..core.policy import RobotsPolicy
 from ..crawlers.assistant import build_app_store
+from ..crawlers.engine import Crawler, CrawlResult
 from ..crawlers.fleet import build_builtin_assistants, build_fleet
+from ..crawlers.profiles import CrawlerProfile
 from ..measure.active_blocking import survey_active_blocking
 from ..measure.artists import measure_artist_sites
 from ..measure.cloudflare_audit import (
@@ -55,7 +57,9 @@ from ..measure.longitudinal import (
 from ..measure.meta_tags import scan_meta_tags
 from ..net.server import Website, render_page
 from ..net.transport import Network
+from ..proxy.behavioral import BehavioralConfig, BehavioralPolicy
 from ..proxy.cloudflare import CloudflareProxy, CloudflareSettings
+from ..proxy.reverse_proxy import ReverseProxy
 from ..survey.analysis import analyze
 from ..survey.respondents import filter_valid, generate_respondents
 from ..web.artists import build_artist_population
@@ -85,6 +89,8 @@ __all__ = [
     "run_change_taxonomy",
     "run_survey_crosstabs",
     "run_ext_adoption_by_category",
+    "run_behavioral_equilibrium",
+    "run_selective_compliance",
 ]
 
 
@@ -925,4 +931,182 @@ def run_ext_adoption_by_category(bundle: LongitudinalBundle) -> ExperimentResult
     )
     return ExperimentResult(
         "ext_adoption_by_category", "Adoption by category (extension)", text, metrics
+    )
+
+
+# ------------------------------------------------- behavioral equilibrium ----
+
+
+def _adversary_site(host: str, n_pages: int) -> Website:
+    """A binary-tree-linked gallery site big enough for a BFS crawl."""
+    site = Website(host)
+    site.set_robots_txt("User-agent: *\nDisallow: /private/\n")
+    site.add_page("/", render_page(
+        "Gallery index",
+        paragraphs=["Selected works below."],
+        links=["/work/1"],
+    ))
+    for i in range(1, n_pages + 1):
+        children = [f"/work/{c}" for c in (2 * i, 2 * i + 1) if c <= n_pages]
+        site.add_page(f"/work/{i}", render_page(
+            f"Work {i}", paragraphs=[f"Notes on piece {i}."], links=children,
+        ))
+    return site
+
+
+def _crawl_against_policy(
+    profile: CrawlerProfile, host: str, pages: int, seed: int
+) -> Tuple[BehavioralPolicy, CrawlResult, float]:
+    """Crawl a fresh behaviorally-defended site with one profile.
+
+    Every profile gets its own network, site, proxy, and policy --
+    never a shared cached handler -- so windows cannot bleed between
+    adversaries and the run is identical in every scheduling mode.
+    Returns ``(policy, crawl result, simulated seconds consumed)``.
+    """
+    network = Network()
+    network.month = 0
+    policy = BehavioralPolicy(BehavioralConfig(seed=seed))
+    proxy = ReverseProxy(_adversary_site(host, 2 * pages + 1), behavioral=policy)
+    network.register(proxy, host=host)
+    crawler = Crawler(profile, network)
+    result = crawler.crawl(host, max_pages=pages)
+    return policy, result, network.now
+
+
+def run_behavioral_equilibrium(seed: int = 7, pages: int = 24) -> ExperimentResult:
+    """Extension: behavioral detection rate vs. evasion cost.
+
+    ROADMAP item 3 / "Detecting Bot Detection" (PAPERS.md): five
+    adversary profiles -- naive scraping, UA rotation, IP rotation,
+    paced stealth, and paced stealth with rotation -- each crawl a
+    fresh behaviorally-defended site.  The matrix reports what the
+    defense caught (detection rate, verdict mix) against what evasion
+    cost the adversary (simulated seconds, pages actually retrieved).
+    The headline equilibrium: identity rotation is *worse* than naive
+    against a behavioral layer (churn is itself a signal), while paced
+    stealth evades at a large simulated-time cost.
+    """
+    ua_pool = tuple(f"Mozilla/5.0 (compatible; Fetcher/{v}.0)" for v in range(2, 6))
+    ip_pool = tuple(f"198.51.100.{10 + i}" for i in range(4))
+    adversaries = [
+        ("naive", CrawlerProfile.oblivious("NaiveScraper")),
+        ("ua-rotate", CrawlerProfile.oblivious("RotatingScraper", ua_pool=ua_pool)),
+        ("ip-rotate", CrawlerProfile.oblivious("HydraScraper", ip_pool=ip_pool)),
+        ("paced", CrawlerProfile.stealth("PacedScraper", seed=seed)),
+        ("full-stealth", CrawlerProfile.stealth(
+            "GhostScraper", fetch_interval=2.0, seed=seed, ip_pool=ip_pool,
+        )),
+    ]
+    rows = []
+    metrics: Dict[str, float] = {"pages_requested": float(pages)}
+    for name, profile in adversaries:
+        policy, result, sim_seconds = _crawl_against_policy(
+            profile, f"{name}.gallery.example", pages, seed
+        )
+        pages_ok = sum(
+            1
+            for path, status in result.fetched
+            if status == 200 and path != "/robots.txt"
+        )
+        rate = policy.detection_rate()
+        summary = policy.summary()
+        rows.append((
+            name,
+            policy.assessed(),
+            pages_ok,
+            f"{100.0 * rate:.1f}%",
+            " ".join(f"{v}:{n}" for v, n in summary.items() if v != "allow") or "-",
+            f"{sim_seconds:.1f}s",
+        ))
+        metrics[f"detection_rate_{name.replace('-', '_')}"] = rate
+        metrics[f"pages_ok_{name.replace('-', '_')}"] = float(pages_ok)
+        metrics[f"sim_seconds_{name.replace('-', '_')}"] = sim_seconds
+    text = render_table(
+        ["adversary", "requests", "pages ok", "detected", "verdicts", "sim time"],
+        rows,
+        title="Extension: behavioral detection / evasion equilibrium",
+    )
+    return ExperimentResult(
+        "behavioral", "Behavioral detection equilibrium (extension)", text, metrics
+    )
+
+
+def run_selective_compliance(seed: int = 7) -> ExperimentResult:
+    """Extension: per-directive selective compliance, observed server-side.
+
+    Kim et al. 2025 (PAPERS.md) show scrapers obey robots.txt
+    *selectively* -- honoring some directives while ignoring others.
+    Four profiles crawl a site whose robots.txt both disallows
+    ``/private/`` and sets ``Crawl-delay: 2``; compliance with each
+    directive is judged only from what the server (and its behavioral
+    layer) can see: private-path hits in the access log and measured
+    inter-arrival gaps on the simulated clock.
+    """
+    delay = 2.0
+    profiles = [
+        ("obeys-all", CrawlerProfile.respectful(
+            "DutifulBot", honors_crawl_delay=True, paces_on_clock=True,
+        )),
+        ("ignores-delay", CrawlerProfile.respectful(
+            "HastyBot", honors_crawl_delay=False, paces_on_clock=True,
+        )),
+        ("ignores-disallow", CrawlerProfile.defiant(
+            "NosyBot", honors_crawl_delay=True, paces_on_clock=True,
+        )),
+        ("ignores-all", CrawlerProfile.defiant("BrazenBot")),
+    ]
+    rows = []
+    metrics: Dict[str, float] = {"n_selective_profiles": float(len(profiles))}
+    for name, profile in profiles:
+        network = Network()
+        network.month = 0
+        policy = BehavioralPolicy(BehavioralConfig(seed=seed))
+        host = f"{name}.journal.example"
+        site = Website(host)
+        site.set_robots_txt(
+            f"User-agent: *\nDisallow: /private/\nCrawl-delay: {int(delay)}\n"
+        )
+        site.add_page("/", render_page(
+            "Journal", paragraphs=["Front page."],
+            links=[f"/public/{i}" for i in range(1, 7)] + ["/private/drafts"],
+        ))
+        for i in range(1, 7):
+            site.add_page(f"/public/{i}", render_page(
+                f"Entry {i}", paragraphs=[f"Public entry {i}."],
+            ))
+        site.add_page("/private/drafts", render_page(
+            "Drafts", paragraphs=["Unpublished drafts."],
+        ))
+        proxy = ReverseProxy(site, behavioral=policy)
+        network.register(proxy, host=host)
+        Crawler(profile, network).crawl(host, max_pages=8)
+
+        entries = [e for e in proxy.access_log if not e.is_robots_fetch]
+        private_hits = sum(1 for e in entries if e.path.startswith("/private/"))
+        stamps = sorted(e.timestamp for e in entries)
+        gaps = [b - a for a, b in zip(stamps, stamps[1:])]
+        mean_gap = sum(gaps) / len(gaps) if gaps else 0.0
+        fetched_robots = any(e.is_robots_fetch for e in proxy.access_log)
+        obeyed_disallow = private_hits == 0
+        obeyed_delay = bool(gaps) and mean_gap >= 0.9 * delay
+        rows.append((
+            name,
+            "yes" if fetched_robots else "no",
+            "obeyed" if obeyed_disallow else f"violated ({private_hits})",
+            f"{'obeyed' if obeyed_delay else 'violated'} ({mean_gap:.2f}s)",
+            f"{100.0 * policy.detection_rate():.1f}%",
+        ))
+        slug = name.replace("-", "_")
+        metrics[f"disallow_obeyed_{slug}"] = float(obeyed_disallow)
+        metrics[f"delay_obeyed_{slug}"] = float(obeyed_delay)
+        metrics[f"detection_rate_{slug}"] = policy.detection_rate()
+    text = render_table(
+        ["profile", "fetched robots", "Disallow: /private/",
+         f"Crawl-delay: {int(delay)}", "behaviorally detected"],
+        rows,
+        title="Extension: per-directive selective compliance",
+    )
+    return ExperimentResult(
+        "selective", "Selective compliance per directive (extension)", text, metrics
     )

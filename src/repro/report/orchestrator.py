@@ -152,6 +152,14 @@ EXPERIMENT_REGISTRY: Tuple[ExperimentSpec, ...] = (
                    WORLD_BUNDLE, exp.run_change_taxonomy),
     ExperimentSpec("category", "ext_adoption_by_category", "Adoption by category",
                    WORLD_BUNDLE, exp.run_ext_adoption_by_category),
+    ExperimentSpec("behavioral", "behavioral_equilibrium",
+                   "Behavioral detection equilibrium",
+                   WORLD_NONE, lambda **kw: exp.run_behavioral_equilibrium(**kw),
+                   params=(("seed", 7), ("pages", 24))),
+    ExperimentSpec("selective", "selective_compliance",
+                   "Selective compliance per directive",
+                   WORLD_NONE, lambda **kw: exp.run_selective_compliance(**kw),
+                   params=(("seed", 7),)),
 )
 
 _BY_KEY: Dict[str, ExperimentSpec] = {spec.key: spec for spec in EXPERIMENT_REGISTRY}
@@ -945,9 +953,15 @@ def run_all(
         features_dir = (
             Path(telemetry_dir) if telemetry_dir is not None else Path(log_dir)
         )
+        from ..proxy.behavioral import write_verdicts
+
         features_dir.mkdir(parents=True, exist_ok=True)
         with LogStore.open(log_dir) as committed:
             write_features(committed, features_dir / "FEATURES.json")
+            # Offline behavioral verdicts over the same committed store:
+            # the classifier view of the whole run's traffic, next to
+            # the feature vectors it consumed.
+            write_verdicts(committed, features_dir / "BEHAVIORAL.json")
 
     if telemetry_dir is not None:
         # Shared-cache tallies are point-in-time, scheduling-dependent

@@ -104,3 +104,64 @@ def test_write_features_artifact_shape_and_determinism(tmp_path):
         "requests", "gap_mean_ticks", "gap_p95_ticks", "path_entropy_bits",
         "robots_before_content", "error_ratio", "ua_churn",
     }
+
+
+class TestOutOfOrderTicks:
+    """Clock regressions across stream boundaries must not corrupt gaps."""
+
+    ROWS = [
+        # Two streams' records interleaved on the global seq: ticks run
+        # 100 -> 300 -> 50 -> 250 (two regressions would read as huge
+        # "absolute" gaps; the ordered timeline is 50,100,250,300).
+        ("h.example", "/a", "GPTBot", 200, 100, False, "ua"),
+        ("h.example", "/b", "GPTBot", 200, 300, False, "ua"),
+        ("h.example", "/c", "GPTBot", 200, 50, False, "ua"),
+        ("h.example", "/d", "GPTBot", 200, 250, False, "ua"),
+    ]
+
+    def test_gaps_measured_on_the_ordered_timeline(self, tmp_path):
+        with _store(tmp_path, self.ROWS) as store:
+            pair = extract_features(store)["GPTBot"]["h.example"]
+        # sorted ticks 50,100,250,300 -> gaps 50,150,50 -- NOT the
+        # |consecutive| deltas 200,250,200 the abs-value bug produced.
+        assert pair["gap_mean_ticks"] == pytest.approx((50 + 150 + 50) / 3)
+        assert pair["gap_p95_ticks"] == 150
+
+    def test_regressions_feed_the_counter(self, tmp_path):
+        from repro.obs.metrics import shared_registry
+
+        shared_registry().reset()
+        try:
+            with _store(tmp_path, self.ROWS) as store:
+                extract_features(store)
+            assert shared_registry().counter_value(
+                "features.tick_regressions"
+            ) == 1  # 300 -> 50 is the one backwards step
+        finally:
+            shared_registry().reset()
+
+    def test_in_order_ticks_record_no_regressions(self, tmp_path):
+        from repro.obs.metrics import shared_registry
+
+        shared_registry().reset()
+        try:
+            rows = [("h.example", f"/p{i}", "A", 200, i * 10, False, "ua")
+                    for i in range(5)]
+            with _store(tmp_path, rows) as store:
+                extract_features(store)
+            assert shared_registry().counter_value(
+                "features.tick_regressions"
+            ) == 0
+        finally:
+            shared_registry().reset()
+
+
+def test_write_features_creates_missing_parents_atomically(tmp_path):
+    rows = [("h.example", "/", "A", 200, 0, False, "ua")]
+    target = tmp_path / "deep" / "nested" / "FEATURES.json"
+    with _store(tmp_path, rows) as store:
+        written = write_features(store, target)
+    assert written == target and target.is_file()
+    # Atomic rename: no stale .tmp sibling left behind.
+    assert not target.with_name(target.name + ".tmp").exists()
+    assert json.loads(target.read_text())["n_records"] == 1

@@ -87,3 +87,47 @@ def test_timelines_shape_and_ordering(store):
     assert list(lines["GPTBot"]) == [0, 1]
     filtered = timelines(store, LogFilter(category="news"))
     assert filtered == {"CCBot": {0: 1, 1: 1}, "GPTBot": {1: 1}}
+
+
+class TestNativeKeyOrdering:
+    """Integer dimensions must sort numerically, not lexicographically."""
+
+    def test_group_by_months_0_through_12(self, tmp_path):
+        sink = LogSink()
+        with log_stream("months"):
+            for month in range(13):
+                sink.emit("h.example", "/", "ua", "GPTBot", "served",
+                          "art", month, 200, month, False)
+        sink.commit(tmp_path / "logs", config_digest="cfg", n_shards=1)
+        with LogStore.open(tmp_path / "logs") as store:
+            grouped = group_by(store, ("month",))
+        # str() sorting would give 0,1,10,11,12,2,...; native ints must
+        # come back in numeric order.
+        assert [month for (month,) in grouped] == list(range(13))
+
+    def test_group_by_mixed_dimensions_sort_per_position(self, tmp_path):
+        sink = LogSink()
+        with log_stream("mixed"):
+            for month in (2, 10):
+                for agent in ("GPTBot", "CCBot"):
+                    sink.emit("h.example", "/", "ua", agent, "served",
+                              "art", month, 200, 0, False)
+        sink.commit(tmp_path / "logs", config_digest="cfg", n_shards=1)
+        with LogStore.open(tmp_path / "logs") as store:
+            grouped = group_by(store, ("agent", "month"))
+        assert list(grouped) == [
+            ("CCBot", 2), ("CCBot", 10), ("GPTBot", 2), ("GPTBot", 10),
+        ]
+
+    def test_top_k_breaks_ties_on_native_values(self, tmp_path):
+        sink = LogSink()
+        with log_stream("ties"):
+            # months 2 and 10 each appear twice: tied counts must rank
+            # 2 ahead of 10 (a str() tie-break would invert them).
+            for month in (10, 10, 2, 2, 7, 7, 7):
+                sink.emit("h.example", "/", "ua", "GPTBot", "served",
+                          "art", month, 200, 0, False)
+        sink.commit(tmp_path / "logs", config_digest="cfg", n_shards=1)
+        with LogStore.open(tmp_path / "logs") as store:
+            ranked = top_k(store, "month", k=3)
+        assert ranked == [(7, 3), (2, 2), (10, 2)]
